@@ -1,0 +1,90 @@
+// Command nocsim runs a single NoC simulation and prints its
+// measurements.
+//
+// Usage:
+//
+//	nocsim -scheme FastPass -pattern Uniform -rate 0.05 -size 8 -vcs 4
+//	nocsim -scheme EscapeVC -app Canneal -size 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/noc"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("nocsim: ")
+
+	schemeName := flag.String("scheme", "FastPass", "scheme: FastPass, EscapeVC, SPIN, SWAP, DRAIN, Pitstop, MinBD, TFC")
+	patternName := flag.String("pattern", "Uniform", "synthetic pattern: Uniform, Transpose, Shuffle, BitRotation, BitComplement, Hotspot")
+	app := flag.String("app", "", "run an application workload instead of synthetic traffic (Radix, Canneal, FFT, FMM, Lu_cb, Streamcluster, Volrend, Barnes)")
+	rate := flag.Float64("rate", 0.05, "injection rate in packets/node/cycle (synthetic)")
+	size := flag.Int("size", 8, "mesh dimension (size × size)")
+	vcs := flag.Int("vcs", 0, "VCs per input buffer (0 = scheme default)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	warmup := flag.Int("warmup", 2000, "warmup cycles")
+	measure := flag.Int("measure", 5000, "measurement cycles")
+	drain := flag.Int("drain", 3000, "drain cycles")
+	flag.Parse()
+
+	scheme, err := noc.ParseScheme(*schemeName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := noc.Options{Scheme: scheme, W: *size, H: *size, VCs: *vcs, Seed: *seed, DrainPeriod: 8192}
+
+	if *app != "" {
+		runApp(opts, *app)
+		return
+	}
+
+	var pattern noc.Pattern
+	found := false
+	for _, p := range noc.Patterns() {
+		if p.String() == *patternName {
+			pattern = p
+			found = true
+		}
+	}
+	if !found {
+		log.Fatalf("unknown pattern %q", *patternName)
+	}
+	res := noc.RunSynthetic(noc.SynthConfig{
+		Options: opts, Pattern: pattern, Rate: *rate,
+		Warmup: *warmup, Measure: *measure, Drain: *drain,
+	})
+	fmt.Printf("scheme          %v\n", res.Scheme)
+	fmt.Printf("pattern         %v @ %.3f pkts/node/cycle\n", res.Pattern, res.Rate)
+	fmt.Printf("avg latency     %.2f cycles\n", res.AvgLatency)
+	fmt.Printf("p99 latency     %.0f cycles\n", res.P99Latency)
+	fmt.Printf("throughput      %.4f pkts/node/cycle (%.4f flits)\n", res.Throughput, res.FlitThroughput)
+	fmt.Printf("delivered       %.1f%% of measured packets (%d samples)\n", 100*res.DeliveredFrac, res.Samples)
+	if scheme == noc.FastPass {
+		fmt.Printf("breakdown       regular %.3f / fastpass %.3f / dropped %.4f\n",
+			res.RegularFrac, res.FastFrac, res.DroppedFrac)
+		fmt.Printf("promotions      %d (drops %d)\n", res.Promoted, res.Drops)
+	}
+	if res.Saturated {
+		fmt.Println("state           SATURATED")
+		os.Exit(2)
+	}
+}
+
+func runApp(opts noc.Options, name string) {
+	app, err := noc.GetApp(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := noc.RunApp(noc.AppConfig{Options: opts, App: app})
+	fmt.Printf("scheme          %v\n", opts.Scheme)
+	fmt.Printf("application     %s (quota %d txns)\n", app.Name, app.WorkQuota)
+	fmt.Printf("exec time       %d cycles (timeout=%v)\n", res.ExecTime, res.Timeout)
+	fmt.Printf("avg latency     %.2f cycles\n", res.AvgLatency)
+	fmt.Printf("p99 latency     %.0f cycles\n", res.P99Latency)
+	fmt.Printf("transactions    %d completed / %d issued (stalls %d)\n", res.Completed, res.Issued, res.Stalled)
+}

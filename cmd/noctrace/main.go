@@ -1,0 +1,84 @@
+// Command noctrace runs a short simulation with event tracing enabled
+// and prints the event summary, the retained event log, and — when a
+// packet ID is given — one packet's full lifecycle through the FastPass
+// machinery.
+//
+// Usage:
+//
+//	noctrace -scheme FastPass -rate 0.08 -cycles 3000
+//	noctrace -scheme FastPass -rate 0.10 -vcs 1 -pkt 120 -json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"math/rand"
+
+	"repro/internal/message"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+	"repro/noc"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("noctrace: ")
+
+	schemeName := flag.String("scheme", "FastPass", "scheme to trace")
+	rate := flag.Float64("rate", 0.08, "injection rate (uniform traffic)")
+	size := flag.Int("size", 4, "mesh dimension")
+	vcs := flag.Int("vcs", 0, "VCs (0 = scheme default)")
+	cycles := flag.Int("cycles", 3000, "cycles to simulate")
+	capacity := flag.Int("events", 200, "retained event count")
+	pkt := flag.Uint64("pkt", 0, "print one packet's lifecycle")
+	asJSON := flag.Bool("json", false, "emit the event log as JSON")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	scheme, err := noc.ParseScheme(*schemeName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst := sim.Build(sim.Options{
+		Scheme: scheme, W: *size, H: *size, VCs: *vcs, Seed: *seed,
+		TraceCapacity: *capacity,
+	})
+	inst.SetOnEject(func(*message.Packet) {})
+
+	gen := &traffic.Generator{Pattern: traffic.Uniform, Rate: *rate, W: *size, H: *size}
+	rng := rand.New(rand.NewSource(*seed))
+	for c := 0; c < *cycles; c++ {
+		for _, p := range gen.Tick(inst.Cycle(), rng) {
+			inst.Enqueue(p)
+		}
+		inst.Step()
+	}
+
+	rec := inst.Trace
+	fmt.Print(rec.Summary())
+	fmt.Println()
+	if *pkt != 0 {
+		hist := rec.PacketHistory(*pkt)
+		if len(hist) == 0 {
+			fmt.Printf("packet %d has no retained events (raise -events or pick a later packet)\n", *pkt)
+			return
+		}
+		fmt.Printf("packet %d lifecycle:\n", *pkt)
+		for _, e := range hist {
+			fmt.Printf("  cycle %-7d %-12s node %d %s\n", e.Cycle, e.Kind, e.Node, e.Note)
+		}
+		return
+	}
+	if *asJSON {
+		if err := rec.WriteJSON(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if err := rec.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

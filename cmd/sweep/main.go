@@ -1,0 +1,80 @@
+// Command sweep measures latency-vs-injection-rate curves (Fig. 7
+// style) for one or more schemes and prints them as CSV.
+//
+// Usage:
+//
+//	sweep -pattern Transpose -schemes FastPass,EscapeVC,SPIN -size 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"strings"
+
+	"repro/noc"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sweep: ")
+
+	schemes := flag.String("schemes", "FastPass,EscapeVC,SPIN,SWAP,DRAIN,Pitstop,MinBD,TFC", "comma-separated scheme list")
+	patternName := flag.String("pattern", "Uniform", "synthetic pattern")
+	size := flag.Int("size", 8, "mesh dimension")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	rateMin := flag.Float64("rate-min", 0.02, "first injection rate")
+	rateMax := flag.Float64("rate-max", 0.30, "last injection rate")
+	rateStep := flag.Float64("rate-step", 0.02, "rate increment")
+	flag.Parse()
+
+	var pattern noc.Pattern
+	found := false
+	for _, p := range noc.Patterns() {
+		if p.String() == *patternName {
+			pattern, found = p, true
+		}
+	}
+	if !found {
+		log.Fatalf("unknown pattern %q", *patternName)
+	}
+
+	var rates []float64
+	for r := *rateMin; r <= *rateMax+1e-9; r += *rateStep {
+		rates = append(rates, math.Round(r*1000)/1000)
+	}
+
+	names := strings.Split(*schemes, ",")
+	series := make(map[string][]noc.SynthResult)
+	for _, name := range names {
+		scheme, err := noc.ParseScheme(strings.TrimSpace(name))
+		if err != nil {
+			log.Fatal(err)
+		}
+		base := noc.SynthConfig{
+			Options: noc.Options{Scheme: scheme, W: *size, H: *size, Seed: *seed, DrainPeriod: 8192},
+			Pattern: pattern,
+		}
+		series[name] = noc.SweepLatency(base, rates)
+		log.Printf("%s done", name)
+	}
+
+	fmt.Printf("rate")
+	for _, name := range names {
+		fmt.Printf(",%s", name)
+	}
+	fmt.Println()
+	for i, r := range rates {
+		fmt.Printf("%.3f", r)
+		for _, name := range names {
+			p := series[name][i]
+			if p.Saturated {
+				fmt.Printf(",")
+			} else {
+				fmt.Printf(",%.2f", p.AvgLatency)
+			}
+		}
+		fmt.Println()
+	}
+}

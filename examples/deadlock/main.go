@@ -1,0 +1,102 @@
+// Deadlock demo: build a virtual-network-free router with fully
+// adaptive routing and no recovery scheme, drive it into a genuine
+// network-level deadlock with sustained single-class ring traffic, and
+// then show the identical load draining completely under FastPass.
+//
+// This example reaches below the public API on purpose: the noc package
+// never exposes the broken configuration (adaptive routing without a
+// deadlock-freedom mechanism), so the "before" network is assembled from
+// the internal building blocks.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/fastpass"
+	"repro/internal/message"
+	"repro/internal/network"
+	"repro/internal/router"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+func build(withFastPass bool) (*network.Network, *int) {
+	mesh := topology.NewMesh(4, 4)
+	n := network.New(network.Params{
+		Mesh: mesh,
+		Router: router.Config{
+			NumVNs: 1, VCsPerVN: 2, BufFlits: 5, InjQueueFlits: 10,
+			VCAlgorithms: []routing.Algorithm{routing.FullyAdaptive, routing.FullyAdaptive},
+			ClassVN:      func(message.Class) int { return 0 },
+		},
+		EjectCap: 4,
+		Seed:     1,
+	})
+	if withFastPass {
+		fastpass.Attach(n, fastpass.Params{})
+	}
+	delivered := new(int)
+	for _, nc := range n.NICs {
+		nc.OnEject = func(*message.Packet) { *delivered++ }
+	}
+	return n, delivered
+}
+
+// offer enqueues a dense all-to-all burst across every message class —
+// with no virtual networks and fully adaptive routing, the cyclic
+// buffer dependencies it creates close into a standing deadlock (the
+// same load internal/network's deadlock test verifies).
+func offer(n *network.Network) int {
+	total := 0
+	id := uint64(0)
+	for s := 0; s < 16; s++ {
+		for d := 0; d < 16; d++ {
+			if s == d {
+				continue
+			}
+			id++
+			ln := 1
+			if id%2 == 0 {
+				ln = 5
+			}
+			n.NICs[s].EnqueueSource(message.NewPacket(id, s, d, message.Class(id%6), ln, 0))
+			total++
+		}
+	}
+	return total
+}
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("1) Fully adaptive routing, no VNs, no recovery:")
+	bare, deliveredBare := build(false)
+	total := offer(bare)
+	bare.Run(60000)
+	fmt.Printf("   after 60k cycles: %d of %d packets delivered, %d stuck in buffers\n",
+		*deliveredBare, total, len(bare.ResidentPackets()))
+	before := *deliveredBare
+	bare.Run(20000)
+	switch {
+	case *deliveredBare == total:
+		fmt.Println("   (this seed escaped deadlock — rare but possible)")
+	case *deliveredBare == before:
+		fmt.Println("   no progress in a further 20k cycles — a standing deadlock.")
+	default:
+		fmt.Println("   still crawling — partial progress, not yet fully deadlocked.")
+	}
+	fmt.Println()
+
+	fmt.Println("2) Same network, same traffic, FastPass attached:")
+	fp, deliveredFP := build(true)
+	totalFP := offer(fp)
+	cycles := 0
+	for *deliveredFP < totalFP && cycles < 400000 {
+		fp.Run(1000)
+		cycles += 1000
+	}
+	fmt.Printf("   all %d packets delivered in %d cycles — every blocked packet\n", *deliveredFP, cycles)
+	fmt.Println("   eventually met a prime router and rode a FastPass-Lane out")
+	fmt.Println("   (Lemmas 1–4: guaranteed forward progress, no VNs required).")
+}

@@ -1,0 +1,204 @@
+// Package drain implements the DRAIN baseline [Parasar et al.,
+// HPCA'20]: packets route fully adaptively and the network periodically
+// enters a drain window during which buffered packets are rotated in
+// lock-step along a fixed closed walk over the mesh. The synchronized
+// rotation breaks any cyclic buffer dependency without detection —
+// at the price of misrouting every resident packet, which is what blows
+// up DRAIN's tail latency in Fig. 12.
+//
+// Modelling note: the closed walk is the row-serpentine order. Its
+// single wrap edge (bottom-left corner back to the origin) is not a
+// physical mesh link; the real system's holistic path walks back up
+// column 0. The rotation treats the wrap as one step, which slightly
+// shortens drain-mode travel for the one packet crossing it per step and
+// changes nothing about deadlock freedom or the misrouting signature.
+package drain
+
+import (
+	"repro/internal/message"
+	"repro/internal/network"
+	"repro/internal/router"
+	"repro/internal/routing"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// Params tunes DRAIN.
+type Params struct {
+	// Period between drain windows (64K cycles in Table II).
+	Period int64
+	// Length of each drain window in rotation steps; 0 derives one full
+	// loop (W×H steps).
+	Length int
+}
+
+func (p *Params) setDefaults(nodes int) {
+	if p.Period == 0 {
+		p.Period = 65536
+	}
+	if p.Length == 0 {
+		p.Length = nodes
+	}
+}
+
+// Config returns the DRAIN router configuration (6 VNs, fully adaptive;
+// Table II notes DRAIN can run with fewer VNs only by adding buffers).
+func Config(vcs int) router.Config {
+	algs := make([]routing.Algorithm, vcs)
+	for i := range algs {
+		algs[i] = routing.FullyAdaptive
+	}
+	return router.Config{
+		NumVNs:        int(message.NumClasses),
+		VCsPerVN:      vcs,
+		BufFlits:      5,
+		InjQueueFlits: 10,
+		VCAlgorithms:  algs,
+		ClassVN:       func(c message.Class) int { return int(c) },
+	}
+}
+
+// Controller runs the periodic drains.
+type Controller struct {
+	prm   Params
+	order []int // serpentine node order
+
+	// Trace, when non-nil, records drain windows.
+	Trace *trace.Recorder
+
+	// Draining reports whether a drain window is active (diagnostics).
+	Draining bool
+	// Rotations counts packets force-moved during drains.
+	Rotations int64
+	// Windows counts drain windows entered.
+	Windows int64
+}
+
+// Attach installs a DRAIN controller.
+func Attach(n *network.Network, prm Params) *Controller {
+	prm.setDefaults(n.Mesh.NumNodes())
+	c := &Controller{prm: prm}
+	c.order = serpentine(n.Mesh)
+	n.Controller = c
+	return c
+}
+
+// New builds a complete DRAIN network.
+func New(mesh *topology.Mesh, vcs, ejectCap int, seed int64, prm Params) (*network.Network, *Controller) {
+	n := network.New(network.Params{Mesh: mesh, Router: Config(vcs), EjectCap: ejectCap, Seed: seed})
+	return n, Attach(n, prm)
+}
+
+// serpentine returns the boustrophedon node order: row 0 left-to-right,
+// row 1 right-to-left, and so on — consecutive entries are mesh
+// neighbours.
+func serpentine(m *topology.Mesh) []int {
+	var order []int
+	for y := 0; y < m.H; y++ {
+		if y%2 == 0 {
+			for x := 0; x < m.W; x++ {
+				order = append(order, m.ID(x, y))
+			}
+		} else {
+			for x := m.W - 1; x >= 0; x-- {
+				order = append(order, m.ID(x, y))
+			}
+		}
+	}
+	return order
+}
+
+// Name implements network.Controller.
+func (c *Controller) Name() string { return "DRAIN" }
+
+// PostCycle implements network.Controller.
+func (c *Controller) PostCycle(*network.Network) {}
+
+// PreCycle implements network.Controller.
+func (c *Controller) PreCycle(n *network.Network) {
+	cycle := n.Cycle()
+	phase := cycle % c.prm.Period
+	if cycle >= c.prm.Period && phase < int64(c.prm.Length) {
+		if phase == 0 {
+			c.Windows++
+			c.Trace.Record(cycle, trace.RecoveryAction, 0, -1, "drain window opens")
+		}
+		c.Draining = true
+		c.rotate(n)
+		return
+	}
+	c.Draining = false
+}
+
+// victim identifies one rotatable packet per node: a fully-buffered head
+// of any network VC.
+type victim struct {
+	port topology.Direction
+	vc   int
+	pkt  *message.Packet
+}
+
+// rotate performs one lock-step rotation along the serpentine: every
+// selected packet moves into the slot freed at the next node.
+func (c *Controller) rotate(n *network.Network) {
+	nodes := len(c.order)
+	victims := make([]*victim, nodes) // indexed by serpentine position
+	for i, node := range c.order {
+		r := n.Routers[node]
+		for p := 1; p < n.Mesh.NumPorts(); p++ {
+			found := false
+			for v := 0; v < r.Cfg.NetVCs(); v++ {
+				e := r.VCFor(topology.Direction(p), v).Head()
+				if e != nil && e.FullyBuffered() {
+					victims[i] = &victim{port: topology.Direction(p), vc: v, pkt: e.Pkt}
+					found = true
+					break
+				}
+			}
+			if found {
+				break
+			}
+		}
+	}
+	// Rotate the victims' packets among the victim slots in serpentine
+	// order: every freed slot is refilled, so no upstream credit state
+	// changes and no packet is ever lost. In a dense deadlock victims
+	// sit on adjacent nodes and each packet moves one hop; with sparse
+	// victims a packet advances to the next participating node (the
+	// real holistic path would walk it there over several drain steps —
+	// the compression only shortens drain-mode travel time).
+	var occupied []int // serpentine positions with victims
+	for i, vic := range victims {
+		if vic == nil {
+			continue
+		}
+		occupied = append(occupied, i)
+		r := n.Routers[c.order[i]]
+		if got := r.RemoveHeadPacketNoCredit(vic.port, vic.vc); got != vic.pkt {
+			panic("drain: victim vanished between selection and removal")
+		}
+	}
+	if len(occupied) < 2 {
+		// A single victim just goes back where it was: rotation needs
+		// at least two participants.
+		for _, i := range occupied {
+			vic := victims[i]
+			r := n.Routers[c.order[i]]
+			if !r.InsertPacket(vic.port, vic.vc, vic.pkt) {
+				panic("drain: reinsertion of lone victim failed")
+			}
+		}
+		return
+	}
+	nodes = len(occupied)
+	for j, i := range occupied {
+		vic := victims[i]
+		src := victims[occupied[(j+nodes-1)%nodes]]
+		r := n.Routers[c.order[i]]
+		if !r.InsertPacket(vic.port, vic.vc, src.pkt) {
+			panic("drain: refill of freshly emptied slot failed")
+		}
+		src.pkt.Hops += n.Mesh.Distance(c.order[occupied[(j+nodes-1)%nodes]], c.order[i])
+		c.Rotations++
+	}
+}

@@ -1,0 +1,45 @@
+// Package escapevc implements the EscapeVC baseline [Duato'93]: within
+// every virtual network, VC 0 is an escape channel restricted to a
+// deadlock-free routing function (West-first, per Table II) while the
+// remaining VCs route fully adaptively. A blocked packet can always fall
+// back to the escape channel, so network-level deadlock cannot form;
+// protocol-level deadlock is avoided by the six virtual networks.
+package escapevc
+
+import (
+	"repro/internal/message"
+	"repro/internal/network"
+	"repro/internal/router"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// Config returns the EscapeVC router configuration: 6 VNs, vcs VCs per
+// VN with VC0 as the West-first escape channel. vcs must be at least 2
+// (an escape channel plus at least one adaptive channel).
+func Config(vcs int) router.Config {
+	if vcs < 2 {
+		panic("escapevc: need at least 2 VCs (escape + adaptive)")
+	}
+	algs := make([]routing.Algorithm, vcs)
+	algs[0] = routing.WestFirst
+	for i := 1; i < vcs; i++ {
+		algs[i] = routing.FullyAdaptive
+	}
+	return router.Config{
+		NumVNs:        int(message.NumClasses),
+		VCsPerVN:      vcs,
+		BufFlits:      5,
+		InjQueueFlits: 10,
+		VCAlgorithms:  algs,
+		ClassVN:       func(c message.Class) int { return int(c) },
+	}
+}
+
+// New builds an EscapeVC network. The scheme needs no controller — the
+// escape channel is pure routing/VC policy.
+func New(mesh *topology.Mesh, vcs int, ejectCap int, seed int64) *network.Network {
+	n := network.New(network.Params{Mesh: mesh, Router: Config(vcs), EjectCap: ejectCap, Seed: seed})
+	n.Controller = network.NopController{Label: "EscapeVC"}
+	return n
+}

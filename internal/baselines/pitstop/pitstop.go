@@ -1,0 +1,189 @@
+// Package pitstop implements the Pitstop baseline [Farrokhbakht et al.,
+// HPCA'21]: a virtual-network-free NoC in which blocked packets pull
+// into "pit stops" — spare buffering in the network interfaces of
+// intermediate routers — and are later re-injected to continue their
+// journey. To keep the pit traffic itself deadlock-free, only one
+// message class may use the pit-stop bypass at a time, rotating on a
+// fixed schedule whose period grows with network size: the scalability
+// weakness Table I attributes to it (resolution slows as the network
+// grows).
+package pitstop
+
+import (
+	"repro/internal/message"
+	"repro/internal/network"
+	"repro/internal/router"
+	"repro/internal/routing"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// Params tunes Pitstop.
+type Params struct {
+	// Threshold is the blocked time before a packet may pit.
+	Threshold int64
+	// ClassSlot is the number of cycles each message class owns the
+	// bypass; 0 derives 4×diameter (the NI-to-NI hand-off must cross
+	// the network, so the slot scales with its size).
+	ClassSlot int64
+	// PitCap is the per-NI pit capacity in packets.
+	PitCap int
+}
+
+func (p *Params) setDefaults(diameter int) {
+	if p.Threshold == 0 {
+		p.Threshold = 128
+	}
+	if p.ClassSlot == 0 {
+		p.ClassSlot = int64(4 * diameter)
+	}
+	if p.PitCap == 0 {
+		p.PitCap = 4
+	}
+}
+
+// Config returns the Pitstop router configuration: no VNs (one shared
+// buffer pool), fully adaptive routing.
+func Config(vcs int) router.Config {
+	algs := make([]routing.Algorithm, vcs)
+	for i := range algs {
+		algs[i] = routing.FullyAdaptive
+	}
+	return router.Config{
+		NumVNs:        1,
+		VCsPerVN:      vcs,
+		BufFlits:      5,
+		InjQueueFlits: 10,
+		VCAlgorithms:  algs,
+		ClassVN:       func(message.Class) int { return 0 },
+	}
+}
+
+// Controller implements the rotating NI bypass.
+type Controller struct {
+	prm  Params
+	pits [][]*message.Packet // per node
+
+	// Absorbed counts packets pulled into pits; Reinjected counts
+	// packets that resumed their journey.
+	Absorbed, Reinjected int64
+
+	// Trace, when non-nil, records absorptions and re-injections.
+	Trace *trace.Recorder
+}
+
+// Attach installs a Pitstop controller.
+func Attach(n *network.Network, prm Params) *Controller {
+	prm.setDefaults(n.Mesh.Diameter())
+	c := &Controller{prm: prm, pits: make([][]*message.Packet, n.Mesh.NumNodes())}
+	n.Controller = c
+	return c
+}
+
+// New builds a complete Pitstop network.
+func New(mesh *topology.Mesh, vcs, ejectCap int, seed int64, prm Params) (*network.Network, *Controller) {
+	n := network.New(network.Params{Mesh: mesh, Router: Config(vcs), EjectCap: ejectCap, Seed: seed})
+	return n, Attach(n, prm)
+}
+
+// Name implements network.Controller.
+func (c *Controller) Name() string { return "Pitstop" }
+
+// PostCycle implements network.Controller.
+func (c *Controller) PostCycle(*network.Network) {}
+
+// bypassClass returns the class that currently owns the bypass.
+func (c *Controller) bypassClass(cycle int64) message.Class {
+	return message.Class((cycle / c.prm.ClassSlot) % int64(message.NumClasses))
+}
+
+// PreCycle implements network.Controller: re-inject pitted packets of
+// the active class, then absorb long-blocked packets of that class.
+func (c *Controller) PreCycle(n *network.Network) {
+	cycle := n.Cycle()
+	active := c.bypassClass(cycle)
+	for node := range c.pits {
+		c.reinject(n, node, active)
+	}
+	for _, r := range n.Routers {
+		c.absorb(n, r, active, cycle)
+	}
+}
+
+// reinject moves pitted packets of the active class into the node's
+// injection queue so they continue toward their destinations.
+func (c *Controller) reinject(n *network.Network, node int, active message.Class) {
+	pit := c.pits[node]
+	for len(pit) > 0 {
+		pkt := pit[0]
+		if pkt.Class != active {
+			// Head-of-line by class: rotate the head to the back so a
+			// same-class packet behind it can go.
+			rotated := false
+			for i, p := range pit {
+				if p.Class == active {
+					pit[0], pit[i] = pit[i], pit[0]
+					pkt = pit[0]
+					rotated = true
+					break
+				}
+			}
+			if !rotated {
+				break
+			}
+		}
+		if !n.Routers[node].InjectPacket(pkt) {
+			break
+		}
+		pit = pit[1:]
+		c.Reinjected++
+		c.Trace.Record(n.Routers[node].Env.Cycle(), trace.RecoveryAction, pkt.ID, node, "pit reinject")
+	}
+	c.pits[node] = pit
+}
+
+// absorb pulls one long-blocked head of the active class per router
+// into the NI pit, freeing its buffer (the forward progress that breaks
+// both protocol- and network-level cycles).
+func (c *Controller) absorb(n *network.Network, r *router.Router, active message.Class, cycle int64) {
+	if len(c.pits[r.ID]) >= c.prm.PitCap {
+		return
+	}
+	for p := 1; p < n.Mesh.NumPorts(); p++ {
+		for v := 0; v < r.Cfg.NetVCs(); v++ {
+			e := r.VCFor(topology.Direction(p), v).Head()
+			if e == nil || !e.FullyBuffered() || e.Pkt.Class != active {
+				continue
+			}
+			if cycle-e.LastMove < c.prm.Threshold {
+				continue
+			}
+			pkt := r.RemoveHeadPacket(topology.Direction(p), v)
+			if pkt == nil {
+				continue
+			}
+			c.pits[r.ID] = append(c.pits[r.ID], pkt)
+			c.Absorbed++
+			c.Trace.Record(cycle, trace.RecoveryAction, pkt.ID, r.ID, "pit absorb")
+			return
+		}
+	}
+}
+
+// Pitted counts packets currently waiting in pits (conservation checks).
+func (c *Controller) Pitted() int {
+	t := 0
+	for _, p := range c.pits {
+		t += len(p)
+	}
+	return t
+}
+
+// PittedPackets returns the pitted packets (diagnostics).
+func (c *Controller) PittedPackets() []*message.Packet {
+	var out []*message.Packet
+	for _, p := range c.pits {
+		out = append(out, p...)
+	}
+	return out
+}

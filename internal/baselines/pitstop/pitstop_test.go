@@ -1,0 +1,84 @@
+package pitstop
+
+import (
+	"testing"
+
+	"repro/internal/message"
+	"repro/internal/topology"
+)
+
+// mixedBurst floods a VN-free network with all-to-all traffic across
+// every class — the load that deadlocks a bare 1-VN adaptive network.
+func mixedBurst(enqueue func(p *message.Packet), nodes int) int {
+	total := 0
+	id := uint64(0)
+	for round := 0; round < 3; round++ {
+		for s := 0; s < nodes; s++ {
+			for d := 0; d < nodes; d++ {
+				if s == d {
+					continue
+				}
+				id++
+				ln := 1
+				if id%2 == 0 {
+					ln = 5
+				}
+				enqueue(message.NewPacket(id, s, d, message.Class(id%6), ln, 0))
+				total++
+			}
+		}
+	}
+	return total
+}
+
+func TestPitstopResolvesDeadlockWithoutVNs(t *testing.T) {
+	mesh := topology.NewMesh(4, 4)
+	n, ctl := New(mesh, 2, 4, 1, Params{Threshold: 64})
+	if n.Routers[0].Cfg.NumVNs != 1 {
+		t.Fatal("Pitstop must run without virtual networks")
+	}
+	ejected := 0
+	for _, nc := range n.NICs {
+		nc.OnEject = func(*message.Packet) { ejected++ }
+	}
+	total := mixedBurst(func(p *message.Packet) { n.NICs[p.Src].EnqueueSource(p) }, 16)
+	for i := 0; i < 600000 && ejected < total; i++ {
+		n.Step()
+	}
+	if ejected != total {
+		t.Fatalf("Pitstop failed to drain: %d of %d (absorbed=%d reinjected=%d pitted=%d)",
+			ejected, total, ctl.Absorbed, ctl.Reinjected, ctl.Pitted())
+	}
+	if ctl.Absorbed == 0 {
+		t.Error("the deadlocking burst should force pit stops")
+	}
+	if ctl.Pitted() != 0 {
+		t.Error("pits should be empty after drain")
+	}
+}
+
+func TestBypassClassRotates(t *testing.T) {
+	mesh := topology.NewMesh(4, 4)
+	_, ctl := New(mesh, 2, 4, 1, Params{ClassSlot: 10})
+	seen := map[message.Class]bool{}
+	for c := int64(0); c < 60; c += 10 {
+		seen[ctl.bypassClass(c)] = true
+	}
+	if len(seen) != int(message.NumClasses) {
+		t.Errorf("rotation covered %d of %d classes", len(seen), message.NumClasses)
+	}
+	if ctl.bypassClass(0) == ctl.bypassClass(10) {
+		t.Error("class must change across slots")
+	}
+}
+
+func TestClassSlotScalesWithNetworkSize(t *testing.T) {
+	small := Params{}
+	small.setDefaults(topology.NewMesh(4, 4).Diameter())
+	big := Params{}
+	big.setDefaults(topology.NewMesh(16, 16).Diameter())
+	if big.ClassSlot <= small.ClassSlot {
+		t.Errorf("slot must grow with size: %d vs %d (the Table I scalability critique)",
+			small.ClassSlot, big.ClassSlot)
+	}
+}

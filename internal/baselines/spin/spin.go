@@ -1,0 +1,289 @@
+// Package spin implements the SPIN baseline [Ramrakhyani et al.,
+// ISCA'18]: fully adaptive routing with timeout-triggered deadlock
+// detection. A router whose head packet has been blocked past the
+// detection threshold launches a probe that walks the buffer-dependency
+// chain; if the probe returns to its origin a deadlock is confirmed and,
+// after a coordination delay proportional to the loop length (the
+// probe/move-message round trip that makes SPIN slow at scale), every
+// packet in the loop is moved one hop forward simultaneously — each into
+// the slot vacated by its successor.
+package spin
+
+import (
+	"fmt"
+
+	"repro/internal/message"
+	"repro/internal/network"
+	"repro/internal/router"
+	"repro/internal/routing"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// Params tunes SPIN.
+type Params struct {
+	// Threshold is the blocked-time deadlock suspicion trigger (128 in
+	// Table II).
+	Threshold int64
+	// Cooldown is the per-router wait between probes.
+	Cooldown int64
+	// MaxWalk bounds the probe walk length.
+	MaxWalk int
+}
+
+func (p *Params) setDefaults(nodes int) {
+	if p.Threshold == 0 {
+		p.Threshold = 128
+	}
+	if p.Cooldown == 0 {
+		p.Cooldown = 64
+	}
+	if p.MaxWalk == 0 {
+		p.MaxWalk = 4 * nodes
+	}
+}
+
+// Config returns the SPIN router configuration (6 VNs, fully adaptive).
+func Config(vcs int) router.Config {
+	algs := make([]routing.Algorithm, vcs)
+	for i := range algs {
+		algs[i] = routing.FullyAdaptive
+	}
+	return router.Config{
+		NumVNs:        int(message.NumClasses),
+		VCsPerVN:      vcs,
+		BufFlits:      5,
+		InjQueueFlits: 10,
+		VCAlgorithms:  algs,
+		ClassVN:       func(c message.Class) int { return int(c) },
+	}
+}
+
+// slot is one position in a dependency chain.
+type slot struct {
+	node int
+	port topology.Direction
+	vc   int
+	pkt  uint64 // packet ID expected at spin time
+}
+
+// pendingSpin is a confirmed loop awaiting its coordination delay.
+type pendingSpin struct {
+	chain []slot
+	at    int64
+}
+
+// Controller implements SPIN.
+type Controller struct {
+	prm       Params
+	lastProbe []int64
+	pending   []pendingSpin
+
+	// Probes, Detections, Spins and Aborts count protocol activity.
+	Probes, Detections, Spins, Aborts int64
+
+	// Trace, when non-nil, records detections and executed spins.
+	Trace *trace.Recorder
+}
+
+// Attach installs a SPIN controller.
+func Attach(n *network.Network, prm Params) *Controller {
+	prm.setDefaults(n.Mesh.NumNodes())
+	c := &Controller{prm: prm, lastProbe: make([]int64, n.Mesh.NumNodes())}
+	n.Controller = c
+	return c
+}
+
+// New builds a complete SPIN network.
+func New(mesh *topology.Mesh, vcs, ejectCap int, seed int64, prm Params) (*network.Network, *Controller) {
+	n := network.New(network.Params{Mesh: mesh, Router: Config(vcs), EjectCap: ejectCap, Seed: seed})
+	return n, Attach(n, prm)
+}
+
+// Name implements network.Controller.
+func (c *Controller) Name() string { return "SPIN" }
+
+// PostCycle implements network.Controller.
+func (c *Controller) PostCycle(*network.Network) {}
+
+// PreCycle implements network.Controller.
+func (c *Controller) PreCycle(n *network.Network) {
+	cycle := n.Cycle()
+	// Execute due spins.
+	var keep []pendingSpin
+	for _, ps := range c.pending {
+		if ps.at > cycle {
+			keep = append(keep, ps)
+			continue
+		}
+		c.executeSpin(n, ps)
+	}
+	c.pending = keep
+	// Launch probes from routers with long-blocked heads.
+	for _, r := range n.Routers {
+		if cycle-c.lastProbe[r.ID] < c.prm.Cooldown {
+			continue
+		}
+		if s, ok := c.findBlockedHead(n, r, cycle); ok {
+			c.lastProbe[r.ID] = cycle
+			c.probe(n, s, cycle)
+		}
+	}
+}
+
+// findBlockedHead returns a network-VC head blocked past the threshold.
+func (c *Controller) findBlockedHead(n *network.Network, r *router.Router, cycle int64) (slot, bool) {
+	for p := 1; p < n.Mesh.NumPorts(); p++ {
+		for v := 0; v < r.Cfg.NetVCs(); v++ {
+			e := r.VCFor(topology.Direction(p), v).Head()
+			if e == nil || !e.FullyBuffered() || e.Pkt.Dst == r.ID {
+				continue
+			}
+			if cycle-e.LastMove >= c.prm.Threshold {
+				return slot{node: r.ID, port: topology.Direction(p), vc: v, pkt: e.Pkt.ID}, true
+			}
+		}
+	}
+	return slot{}, false
+}
+
+// probe walks the dependency chain from origin. A walk that returns to
+// the origin slot confirms a deadlock; the spin is scheduled after a
+// coordination delay of two cycles per loop hop (probe out, move-msg
+// back). The probe message itself consumes link bandwidth along its
+// walk — the overhead that degrades SPIN under congestion (its probes
+// fire on every long-blocked head, deadlock or not).
+func (c *Controller) probe(n *network.Network, origin slot, cycle int64) {
+	c.Probes++
+	chain := []slot{origin}
+	seen := map[slot]int{stripPkt(origin): 0}
+	cur := origin
+	for step := 0; step < c.prm.MaxWalk; step++ {
+		next, ok := c.dependency(n, cur)
+		if !ok {
+			c.Aborts++
+			return
+		}
+		key := stripPkt(next)
+		if idx, cyc := seen[key]; cyc {
+			// A loop — but it must close on the origin for this
+			// router's spin to free its own packet; loops discovered
+			// mid-chain are left for their own routers to probe.
+			if idx == 0 {
+				c.Detections++
+				c.Trace.Record(cycle, trace.RecoveryAction, 0, origin.node,
+					fmt.Sprintf("spin detection, loop length %d", len(chain)))
+				c.pending = append(c.pending, pendingSpin{
+					chain: chain,
+					at:    cycle + 2*int64(len(chain)),
+				})
+			} else {
+				c.Aborts++
+			}
+			return
+		}
+		seen[key] = len(chain)
+		chain = append(chain, next)
+		// The probe flit occupies the link toward the next slot this
+		// cycle (opportunistically: it shares gracefully with other
+		// probes).
+		if l := n.Mesh.OutLink(cur.node, linkToward(n, cur.node, next.node)); l != nil {
+			n.TryClaimLink(l.ID)
+		}
+		cur = next
+	}
+	c.Aborts++
+}
+
+// linkToward returns the port from a to its neighbour b.
+func linkToward(n *network.Network, a, b int) topology.Direction {
+	for d := topology.North; d <= topology.West; d++ {
+		if l := n.Mesh.OutLink(a, d); l != nil && l.Dst == b {
+			return d
+		}
+	}
+	return topology.Local
+}
+
+func stripPkt(s slot) slot { s.pkt = 0; return s }
+
+// dependency finds the slot blocking cur's head packet: the occupant of
+// the first busy allowed VC behind cur's preferred output port. A free
+// or streaming VC means no deadlock along this branch.
+func (c *Controller) dependency(n *network.Network, cur slot) (slot, bool) {
+	r := n.Routers[cur.node]
+	e := r.VCFor(cur.port, cur.vc).Head()
+	if e == nil || !e.FullyBuffered() {
+		return slot{}, false
+	}
+	pkt := e.Pkt
+	if pkt.Dst == r.ID {
+		// Waiting on ejection, not on a buffer: no network cycle.
+		return slot{}, false
+	}
+	var dirBuf [2]topology.Direction
+	dirs := routing.RouteFullyAdaptive(n.Mesh, dirBuf[:0], r.ID, pkt.Dst)
+	if len(dirs) == 0 {
+		return slot{}, false
+	}
+	vn := r.Cfg.ClassVN(pkt.Class)
+	var candidate *slot
+	for _, d := range dirs {
+		l := n.Mesh.OutLink(r.ID, d)
+		if l == nil {
+			continue
+		}
+		down := n.Routers[l.Dst]
+		for i := 0; i < r.Cfg.VCsPerVN; i++ {
+			gvc := vn*r.Cfg.VCsPerVN + i
+			if r.DownstreamVCFree(d, gvc) {
+				// A free VC: the packet is not deadlocked (VA will
+				// take it); abort the probe.
+				return slot{}, false
+			}
+			de := down.VCFor(l.DstPort, gvc).Head()
+			if de == nil || !de.FullyBuffered() {
+				// Streaming or in-flight: progress exists somewhere.
+				return slot{}, false
+			}
+			if candidate == nil {
+				candidate = &slot{node: down.ID, port: l.DstPort, vc: gvc, pkt: de.Pkt.ID}
+			}
+		}
+	}
+	if candidate == nil {
+		return slot{}, false
+	}
+	return *candidate, true
+}
+
+// executeSpin validates the chain and rotates every packet one hop
+// forward: chain[i]'s packet moves into chain[i+1]'s slot.
+func (c *Controller) executeSpin(n *network.Network, ps pendingSpin) {
+	chain := ps.chain
+	for _, s := range chain {
+		e := n.Routers[s.node].VCFor(s.port, s.vc).Head()
+		if e == nil || !e.FullyBuffered() || e.Pkt.ID != s.pkt {
+			// The loop broke while coordination was in flight.
+			c.Aborts++
+			return
+		}
+	}
+	pkts := make([]*message.Packet, len(chain))
+	for i, s := range chain {
+		pkts[i] = n.Routers[s.node].RemoveHeadPacketNoCredit(s.port, s.vc)
+		if pkts[i] == nil {
+			panic("spin: validated head vanished")
+		}
+	}
+	for i, s := range chain {
+		src := (i + len(chain) - 1) % len(chain)
+		if !n.Routers[s.node].InsertPacket(s.port, s.vc, pkts[src]) {
+			panic("spin: refill of spun slot failed")
+		}
+		pkts[src].Hops++
+	}
+	c.Spins++
+	c.Trace.Record(n.Cycle(), trace.RecoveryAction, 0, chain[0].node,
+		fmt.Sprintf("spin executed, %d packets rotated", len(chain)))
+}

@@ -1,0 +1,85 @@
+package spin
+
+import (
+	"testing"
+
+	"repro/internal/message"
+	"repro/internal/topology"
+)
+
+// ringBurst saturates one VN with clockwise boundary traffic — a load
+// that deadlocks fully-adaptive routing without recovery.
+func ringBurst(enqueue func(p *message.Packet)) int {
+	ring := []int{0, 1, 2, 3, 7, 11, 15, 14, 13, 12, 8, 4}
+	total := 0
+	id := uint64(0)
+	for round := 0; round < 200; round++ {
+		for i, s := range ring {
+			d := ring[(i+3)%len(ring)]
+			id++
+			ln := 1
+			if id%2 == 0 {
+				ln = 5
+			}
+			enqueue(message.NewPacket(id, s, d, message.Request, ln, 0))
+			total++
+		}
+	}
+	return total
+}
+
+func TestSpinDetectsAndResolvesDeadlock(t *testing.T) {
+	mesh := topology.NewMesh(4, 4)
+	n, ctl := New(mesh, 2, 4, 1, Params{})
+	ejected := 0
+	for _, nc := range n.NICs {
+		nc.OnEject = func(*message.Packet) { ejected++ }
+	}
+	total := ringBurst(func(p *message.Packet) { n.NICs[p.Src].EnqueueSource(p) })
+	for i := 0; i < 600000 && ejected < total; i++ {
+		n.Step()
+	}
+	if ejected != total {
+		t.Fatalf("SPIN failed to drain: %d of %d (probes=%d detections=%d spins=%d aborts=%d)",
+			ejected, total, ctl.Probes, ctl.Detections, ctl.Spins, ctl.Aborts)
+	}
+	if ctl.Probes == 0 {
+		t.Error("saturating traffic should trigger probes")
+	}
+	if ctl.Spins == 0 {
+		t.Error("the ring deadlock should have forced at least one spin")
+	}
+	if len(n.ResidentPackets()) != 0 {
+		t.Error("network not empty after drain")
+	}
+}
+
+func TestSpinQuietAtLowLoad(t *testing.T) {
+	mesh := topology.NewMesh(4, 4)
+	n, ctl := New(mesh, 2, 4, 3, Params{})
+	ejected := 0
+	for _, nc := range n.NICs {
+		nc.OnEject = func(*message.Packet) { ejected++ }
+	}
+	for i := uint64(1); i <= 8; i++ {
+		n.NICs[int(i)%16].EnqueueSource(message.NewPacket(i, int(i)%16, int(3*i)%16, message.Request, 1, 0))
+	}
+	n.Run(2000)
+	if ctl.Spins != 0 || ctl.Detections != 0 {
+		t.Errorf("light load produced %d detections / %d spins", ctl.Detections, ctl.Spins)
+	}
+	if ejected == 0 {
+		t.Fatal("light traffic failed to deliver")
+	}
+}
+
+func TestSpinDefaults(t *testing.T) {
+	p := Params{}
+	p.setDefaults(64)
+	if p.Threshold != 128 {
+		t.Errorf("threshold = %d, want Table II's 128", p.Threshold)
+	}
+	if p.MaxWalk != 256 {
+		t.Errorf("MaxWalk = %d, want 4×nodes", p.MaxWalk)
+	}
+}

@@ -1,0 +1,166 @@
+// Package tfc implements the Token Flow Control baseline [Kumar et al.,
+// MICRO'08]: West-first routing over six virtual networks, with routers
+// advertising buffer availability as tokens. A packet holding a token
+// for its next hop skips the downstream router's allocation pipeline
+// entirely, halving its per-hop latency; when two packets contend, one
+// loses its bypass and is buffered normally. Tokens evaporate under
+// load, so TFC's advantage is a low-load latency win that fades toward
+// saturation — and West-first's restricted turns saturate earlier than
+// the adaptive schemes on asymmetric patterns (Fig. 7).
+//
+// Modelling note: the bypass applies to single-flit (control) packets,
+// which dominate the Table II mix; multi-flit data packets would need
+// multi-cycle link reservations that the opportunistic token protocol
+// does not guarantee.
+package tfc
+
+import (
+	"repro/internal/message"
+	"repro/internal/network"
+	"repro/internal/router"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// Params tunes TFC.
+type Params struct {
+	// TokenSlack is the number of free VCs the downstream port must
+	// advertise for a token to be considered live (1 = any free VC).
+	TokenSlack int
+}
+
+func (p *Params) setDefaults() {
+	if p.TokenSlack == 0 {
+		p.TokenSlack = 1
+	}
+}
+
+// Config returns the TFC router configuration: 6 VNs, West-first on
+// every VC (deadlock-free turn model).
+func Config(vcs int) router.Config {
+	algs := make([]routing.Algorithm, vcs)
+	for i := range algs {
+		algs[i] = routing.WestFirst
+	}
+	return router.Config{
+		NumVNs:        int(message.NumClasses),
+		VCsPerVN:      vcs,
+		BufFlits:      5,
+		InjQueueFlits: 10,
+		VCAlgorithms:  algs,
+		ClassVN:       func(c message.Class) int { return int(c) },
+	}
+}
+
+// Controller implements the token bypass.
+type Controller struct {
+	prm Params
+
+	// Bypasses counts token-granted single-cycle hops; TokenMisses
+	// counts heads that held no token this cycle.
+	Bypasses, TokenMisses int64
+}
+
+// Attach installs a TFC controller.
+func Attach(n *network.Network, prm Params) *Controller {
+	prm.setDefaults()
+	c := &Controller{prm: prm}
+	n.Controller = c
+	return c
+}
+
+// New builds a complete TFC network.
+func New(mesh *topology.Mesh, vcs, ejectCap int, seed int64, prm Params) (*network.Network, *Controller) {
+	n := network.New(network.Params{Mesh: mesh, Router: Config(vcs), EjectCap: ejectCap, Seed: seed})
+	return n, Attach(n, prm)
+}
+
+// Name implements network.Controller.
+func (c *Controller) Name() string { return "TFC" }
+
+// PostCycle implements network.Controller.
+func (c *Controller) PostCycle(*network.Network) {}
+
+// PreCycle implements network.Controller: grant at most one token
+// bypass per router per cycle.
+func (c *Controller) PreCycle(n *network.Network) {
+	for _, r := range n.Routers {
+		c.bypassOne(n, r)
+	}
+}
+
+// bypassOne advances one token-holding control packet a full hop.
+func (c *Controller) bypassOne(n *network.Network, r *router.Router) {
+	nPorts := n.Mesh.NumPorts()
+	for p := 0; p < nPorts; p++ {
+		for v := range r.Inputs[p].VCs {
+			e := r.VCFor(topology.Direction(p), v).Head()
+			if e == nil || !e.FullyBuffered() || e.Allocated {
+				continue
+			}
+			// Only packets the regular pipeline has left waiting use
+			// the token path: with 1-cycle routers (Table II) there is
+			// no pipeline to skip on an uncontended path, so TFC's
+			// low-load latency matches the other schemes (Fig. 7) and
+			// tokens pay off by cutting queueing under contention.
+			if n.Cycle()-e.LastMove < 2 {
+				continue
+			}
+			pkt := e.Pkt
+			if pkt.Len != 1 || pkt.Dst == r.ID {
+				continue
+			}
+			if c.tryBypass(n, r, topology.Direction(p), v, pkt) {
+				return
+			}
+		}
+	}
+}
+
+func (c *Controller) tryBypass(n *network.Network, r *router.Router, port topology.Direction, v int, pkt *message.Packet) bool {
+	var dirBuf [2]topology.Direction
+	dirs := routing.RouteWestFirst(n.Mesh, dirBuf[:0], r.ID, pkt.Dst)
+	vn := r.Cfg.ClassVN(pkt.Class)
+	for _, d := range dirs {
+		l := n.Mesh.OutLink(r.ID, d)
+		if l == nil {
+			continue
+		}
+		// Token: enough advertised free VCs behind the port.
+		free, pick := 0, -1
+		for i := 0; i < r.Cfg.VCsPerVN; i++ {
+			gvc := vn*r.Cfg.VCsPerVN + i
+			if r.DownstreamVCFree(d, gvc) {
+				free++
+				pick = gvc
+			}
+		}
+		if free < c.prm.TokenSlack || pick < 0 {
+			continue
+		}
+		if !n.TryClaimLink(l.ID) {
+			// Another bypass holds the wire: this packet loses its
+			// token and buffers normally (the paper's conflict rule).
+			continue
+		}
+		moved := r.RemoveHeadPacketNoCredit(port, v)
+		if moved == nil {
+			return false
+		}
+		down := n.Routers[l.Dst]
+		if !down.InsertPacket(l.DstPort, pick, moved) {
+			r.InsertPacket(port, v, moved)
+			return false
+		}
+		r.ClaimDownstreamVC(d, pick)
+		r.CreditUpstream(port, v)
+		if moved.InjectTime < 0 {
+			moved.InjectTime = n.Cycle()
+		}
+		moved.Hops++
+		c.Bypasses++
+		return true
+	}
+	c.TokenMisses++
+	return false
+}

@@ -1,0 +1,139 @@
+package fastpass
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// IrregularSchedule is the §III-F generalisation of the TDM schedule to
+// arbitrary topologies. Partitions cannot come from mesh columns, so
+// FastPass borrows DRAIN's construction: a holistic walk that traverses
+// every directed link exactly once is segmented into P contiguous,
+// link-disjoint pieces. Each segment is a FastPass-Lane skeleton; in a
+// given slot, each prime owns one segment, rotating over slots exactly
+// like the mesh's covered-partition pointer, so concurrent lanes can
+// never share a link and over a phase each prime touches every link of
+// the network.
+type IrregularSchedule struct {
+	Topo *topology.Irregular
+	// Segments[i] is the ordered link-ID list of partition i.
+	Segments [][]int
+	// K is the slot length in cycles.
+	K int
+
+	// segStart[i] is the node where segment i's walk begins — the
+	// natural prime attachment point for that partition.
+	segStart []int
+	// linkSeg[id] is the owning segment of each directed link.
+	linkSeg []int
+}
+
+// NewIrregularSchedule derives a P-partition schedule for an irregular
+// topology. P must be between 1 and the number of directed links.
+func NewIrregularSchedule(t *topology.Irregular, p int) (*IrregularSchedule, error) {
+	if p < 1 || p > len(t.Links()) {
+		return nil, fmt.Errorf("fastpass: %d partitions for %d links", p, len(t.Links()))
+	}
+	walk := t.HolisticWalk()
+	segs := topology.SegmentWalk(walk, p)
+	s := &IrregularSchedule{
+		Topo:     t,
+		Segments: segs,
+		K:        2*t.Diameter()*t.NumPorts() + 2*5 + 4,
+		linkSeg:  make([]int, len(t.Links())),
+	}
+	for i := range s.linkSeg {
+		s.linkSeg[i] = -1
+	}
+	for i, seg := range segs {
+		if len(seg) == 0 {
+			return nil, fmt.Errorf("fastpass: empty segment %d", i)
+		}
+		s.segStart = append(s.segStart, t.Links()[seg[0]].Src)
+		for _, id := range seg {
+			if s.linkSeg[id] != -1 {
+				return nil, fmt.Errorf("fastpass: link %d in two segments", id)
+			}
+			s.linkSeg[id] = i
+		}
+	}
+	for id, owner := range s.linkSeg {
+		if owner == -1 {
+			return nil, fmt.Errorf("fastpass: link %d unassigned", id)
+		}
+	}
+	return s, nil
+}
+
+// Partitions reports P.
+func (s *IrregularSchedule) Partitions() int { return len(s.Segments) }
+
+// PrimeNode returns the prime attachment node of partition i: the start
+// of its walk segment. Over phases, primacy walks along the segment so
+// every router adjacent to the partition eventually serves (the
+// contiguous-successor rule generalised from the mesh's
+// next-row-in-column).
+func (s *IrregularSchedule) PrimeNode(part, phase int) int {
+	seg := s.Segments[part]
+	link := s.Topo.Links()[seg[phase%len(seg)]]
+	return link.Src
+}
+
+// Covered returns the partition whose segment the prime of part may use
+// during the given slot (the rotation that gives every prime access to
+// every link of the network over one phase).
+func (s *IrregularSchedule) Covered(part, slot int) int {
+	return (part + slot) % len(s.Segments)
+}
+
+// LaneLinks returns the link IDs the prime of part may use in the given
+// slot. Lanes of distinct primes are disjoint in every slot because
+// Covered is a bijection over partitions and segments are link-disjoint.
+func (s *IrregularSchedule) LaneLinks(part, slot int) []int {
+	return s.Segments[s.Covered(part, slot)]
+}
+
+// SegmentOf reports which partition owns a directed link.
+func (s *IrregularSchedule) SegmentOf(linkID int) int { return s.linkSeg[linkID] }
+
+// ReachableIn lists the nodes a FastPass-Packet can reach along the
+// lane of (part, slot) starting from the segment head: every node the
+// segment's walk visits. Because a segment is a contiguous piece of the
+// holistic walk, the packet can ride it end to end without leaving the
+// lane.
+func (s *IrregularSchedule) ReachableIn(part, slot int) []int {
+	seg := s.LaneLinks(part, slot)
+	seen := map[int]bool{}
+	var nodes []int
+	add := func(n int) {
+		if !seen[n] {
+			seen[n] = true
+			nodes = append(nodes, n)
+		}
+	}
+	for _, id := range seg {
+		l := s.Topo.Links()[id]
+		add(l.Src)
+		add(l.Dst)
+	}
+	return nodes
+}
+
+// CoverageComplete verifies that over one phase (P slots) every
+// partition's prime gets lane access to every node of the network —
+// the irregular analogue of Lemma 2's coverage requirement.
+func (s *IrregularSchedule) CoverageComplete() bool {
+	for part := 0; part < s.Partitions(); part++ {
+		covered := map[int]bool{}
+		for slot := 0; slot < s.Partitions(); slot++ {
+			for _, n := range s.ReachableIn(part, slot) {
+				covered[n] = true
+			}
+		}
+		if len(covered) != s.Topo.NumNodes() {
+			return false
+		}
+	}
+	return true
+}

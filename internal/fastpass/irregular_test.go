@@ -1,0 +1,191 @@
+package fastpass
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func irregularFixture(t *testing.T) *topology.Irregular {
+	t.Helper()
+	g, err := topology.NewIrregular(9, [][2]int{
+		{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0},
+		{0, 3}, {1, 4},
+		{2, 6}, {6, 7}, {7, 8}, {8, 6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestIrregularScheduleValidation(t *testing.T) {
+	g := irregularFixture(t)
+	if _, err := NewIrregularSchedule(g, 0); err == nil {
+		t.Error("0 partitions accepted")
+	}
+	if _, err := NewIrregularSchedule(g, len(g.Links())+1); err == nil {
+		t.Error("more partitions than links accepted")
+	}
+	s, err := NewIrregularSchedule(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Partitions() != 3 {
+		t.Errorf("partitions = %d", s.Partitions())
+	}
+	if s.K <= 0 {
+		t.Error("non-positive slot length")
+	}
+}
+
+// Every directed link belongs to exactly one segment.
+func TestIrregularSegmentsPartitionLinks(t *testing.T) {
+	g := irregularFixture(t)
+	for _, p := range []int{1, 2, 3, 4, 6} {
+		s, err := NewIrregularSchedule(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		count := 0
+		for _, seg := range s.Segments {
+			count += len(seg)
+		}
+		if count != len(g.Links()) {
+			t.Fatalf("p=%d: segments cover %d of %d links", p, count, len(g.Links()))
+		}
+		for id := range g.Links() {
+			if s.SegmentOf(id) < 0 || s.SegmentOf(id) >= p {
+				t.Fatalf("p=%d: link %d owner %d", p, id, s.SegmentOf(id))
+			}
+		}
+	}
+}
+
+// In any slot, the lanes of distinct primes are pairwise link-disjoint
+// (the §III-F generalisation of the Fig. 1 invariant).
+func TestIrregularLanesDisjointPerSlot(t *testing.T) {
+	g := irregularFixture(t)
+	s, err := NewIrregularSchedule(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for slot := 0; slot < s.Partitions(); slot++ {
+		used := map[int]int{}
+		for part := 0; part < s.Partitions(); part++ {
+			for _, id := range s.LaneLinks(part, slot) {
+				if owner, clash := used[id]; clash {
+					t.Fatalf("slot %d: link %d used by primes %d and %d", slot, id, owner, part)
+				}
+				used[id] = part
+			}
+		}
+	}
+}
+
+// Over one phase, every prime's lane rotation must touch every node
+// (Lemma 2's coverage on irregular fabrics).
+func TestIrregularCoverageComplete(t *testing.T) {
+	g := irregularFixture(t)
+	for _, p := range []int{1, 2, 3, 4} {
+		s, err := NewIrregularSchedule(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !s.CoverageComplete() {
+			t.Errorf("p=%d: coverage incomplete", p)
+		}
+	}
+}
+
+// Primacy rotates along the segment: distinct phases can yield distinct
+// prime nodes, and the prime is always an endpoint of its segment walk.
+func TestIrregularPrimeRotation(t *testing.T) {
+	g := irregularFixture(t)
+	s, err := NewIrregularSchedule(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for part := 0; part < 3; part++ {
+		seen := map[int]bool{}
+		for ph := 0; ph < len(s.Segments[part]); ph++ {
+			n := s.PrimeNode(part, ph)
+			if n < 0 || n >= g.NumNodes() {
+				t.Fatalf("prime node %d out of range", n)
+			}
+			seen[n] = true
+		}
+		if len(seen) < 2 {
+			t.Errorf("partition %d: primacy never moves (%v)", part, seen)
+		}
+	}
+}
+
+// Random graphs: the schedule invariants hold on arbitrary connected
+// topologies.
+func TestIrregularScheduleRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + rng.Intn(12)
+		var edges [][2]int
+		have := map[[2]int]bool{}
+		add := func(a, b int) {
+			if a == b {
+				return
+			}
+			k := [2]int{min(a, b), max(a, b)}
+			if have[k] {
+				return
+			}
+			have[k] = true
+			edges = append(edges, [2]int{a, b})
+		}
+		for v := 1; v < n; v++ {
+			add(v, rng.Intn(v))
+		}
+		for e := 0; e < n; e++ {
+			add(rng.Intn(n), rng.Intn(n))
+		}
+		g, err := topology.NewIrregular(n, edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := 1 + rng.Intn(4)
+		if p > len(g.Links()) {
+			p = len(g.Links())
+		}
+		s, err := NewIrregularSchedule(g, p)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for slot := 0; slot < p; slot++ {
+			used := map[int]bool{}
+			for part := 0; part < p; part++ {
+				for _, id := range s.LaneLinks(part, slot) {
+					if used[id] {
+						t.Fatalf("trial %d: lane overlap", trial)
+					}
+					used[id] = true
+				}
+			}
+		}
+		if !s.CoverageComplete() {
+			t.Fatalf("trial %d: incomplete coverage", trial)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

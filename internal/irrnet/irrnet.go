@@ -1,0 +1,544 @@
+// Package irrnet is the §III-F substrate: a flit-level, credit-based
+// virtual-cut-through NoC over an arbitrary irregular topology
+// (bidirectional channels, table-routed minimal adaptive routing), with
+// the FastPass mechanism generalised away from mesh geometry.
+//
+// On a mesh, FastPass gets collision freedom from column partitions and
+// diagonal primes. On an irregular fabric the paper prescribes deriving
+// partitions from a holistic walk that traverses every directed link
+// exactly once (§III-F). This package concretises that sketch as
+// "circulating lanes": P lane positions ride the closed walk in
+// lock-step, one link per cycle, evenly spaced. Each lane position is a
+// moving FastPass-Lane head; because all positions advance together and
+// the walk never repeats a link, two lanes can never claim the same
+// link in the same cycle. A lane passing a router whose buffered head
+// packet it can serve promotes the packet and carries it bufferlessly
+// along the walk to its destination — the walk visits every node, so
+// every source/destination pair is eventually served, which restores
+// the paper's Lemma 1/2 structure without any mesh assumptions.
+//
+// Guaranteed acceptance at the destination is provided by reserving a
+// landing slot in the destination NI at promotion time (the irregular
+// analogue of the mesh's reserve-and-return; the paper leaves irregular
+// rejection handling unspecified, and a returning path along the walk
+// would cross other lanes' links, so this design reserves ahead
+// instead — one small landing register per NI, noted as added cost).
+package irrnet
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/message"
+	"repro/internal/nic"
+	"repro/internal/router"
+	"repro/internal/topology"
+)
+
+// Params configures an irregular network.
+type Params struct {
+	// VCs per network input port (shared by all message classes — the
+	// FastPass design point).
+	VCs int
+	// BufFlits per VC; InjQueueFlits per class injection queue.
+	BufFlits, InjQueueFlits int
+	// EjectCap is the per-class ejection queue capacity in packets.
+	EjectCap int
+	// Lanes is the number of circulating FastPass lanes (0 = derive
+	// from topology: one per ~16 walk links, at least 1).
+	Lanes int
+	// LandingCap is the per-node landing-register capacity in packets.
+	LandingCap int
+	// DisableLanes turns the FastPass mechanism off (control runs: the
+	// bare adaptive network, which can deadlock).
+	DisableLanes bool
+	Seed         int64
+}
+
+func (p *Params) setDefaults(walkLen int) {
+	if p.VCs == 0 {
+		p.VCs = 2
+	}
+	if p.BufFlits == 0 {
+		p.BufFlits = 5
+	}
+	if p.InjQueueFlits == 0 {
+		p.InjQueueFlits = 10
+	}
+	if p.EjectCap == 0 {
+		p.EjectCap = 4
+	}
+	if p.LandingCap == 0 {
+		p.LandingCap = 2
+	}
+	if p.Lanes == 0 {
+		p.Lanes = walkLen / 16
+		if p.Lanes < 1 {
+			p.Lanes = 1
+		}
+	}
+	// Lanes must be spaced at least a max packet length plus slack
+	// apart on the walk.
+	maxLanes := walkLen / (5 + 2)
+	if maxLanes < 1 {
+		maxLanes = 1
+	}
+	if p.Lanes > maxLanes {
+		p.Lanes = maxLanes
+	}
+}
+
+// irRouter is one node's switch: per-port input VCs (port 0 = per-class
+// injection queues), table-routed VA, two-stage SA.
+type irRouter struct {
+	id  int
+	net *Network
+
+	inputs [][]*router.VC // [port][vc]
+	// vcFree[port][vc]: downstream VC availability (credit state).
+	vcFree [][]bool
+	// ejecting marks classes with a regular packet mid-ejection.
+	ejecting [message.NumClasses]bool
+
+	vaPtr    int
+	saInArb  []*router.RRArbiter
+	saOutArb []*router.RRArbiter
+}
+
+// transit is a flit in flight on a directed link (two-stage pipeline:
+// wire then latch, as in the mesh network).
+type transit struct {
+	flit  message.Flit
+	vc    int
+	valid bool
+}
+
+type channel struct {
+	link       topology.Link
+	cur, next  transit
+	creditNext []int
+}
+
+// Network is a running irregular NoC.
+type Network struct {
+	Topo *topology.Irregular
+	prm  Params
+
+	routers  []*irRouter
+	NICs     []*nic.NIC
+	channels []*channel
+	claims   []bool
+
+	// walk is the holistic closed walk (link IDs); lanePos[i] is lane
+	// i's head position on it. arrivals[node] lists the walk positions
+	// whose link ends at node, ascending (pickup-time distance lookups).
+	walk     []int
+	arrivals [][]int
+	lanePos  []int
+	lanes    []*laneState
+
+	// landing[node] holds FastPass packets awaiting ejection-queue
+	// space; landingRsv[node] counts reserved slots.
+	landing    [][]*message.Packet
+	landingRsv []int
+
+	cycle int64
+	Rand  *rand.Rand
+
+	// Promoted/Delivered count lane activity; LandingWaits counts
+	// arrivals that needed the landing register.
+	Promoted, Delivered, LandingWaits int64
+}
+
+// laneState is one circulating lane.
+type laneState struct {
+	pkt *message.Packet
+	// dstCountdown is the number of walk steps until the head reaches
+	// the destination (decrements each cycle); progress counts cycles
+	// since boarding (bounds the flit train's rear claims).
+	dstCountdown int
+	progress     int
+	scanPtr      int
+}
+
+// New builds an irregular network with FastPass lanes.
+func New(t *topology.Irregular, prm Params) *Network {
+	walk := t.HolisticWalk()
+	prm.setDefaults(len(walk))
+	n := &Network{
+		Topo:       t,
+		prm:        prm,
+		walk:       walk,
+		claims:     make([]bool, len(t.Links())),
+		landing:    make([][]*message.Packet, t.NumNodes()),
+		landingRsv: make([]int, t.NumNodes()),
+		Rand:       rand.New(rand.NewSource(prm.Seed)),
+	}
+	for _, l := range t.Links() {
+		n.channels = append(n.channels, &channel{link: l})
+	}
+	n.arrivals = make([][]int, t.NumNodes())
+	for p, id := range walk {
+		dst := t.Links()[id].Dst
+		n.arrivals[dst] = append(n.arrivals[dst], p)
+	}
+	for id := 0; id < t.NumNodes(); id++ {
+		n.routers = append(n.routers, newIrRouter(id, n))
+		nc := nic.New(id, prm.EjectCap)
+		r := n.routers[id]
+		nc.Inject = r.injectPacket
+		n.NICs = append(n.NICs, nc)
+	}
+	if !prm.DisableLanes {
+		// Spread lane heads evenly around the walk.
+		for i := 0; i < prm.Lanes; i++ {
+			n.lanePos = append(n.lanePos, i*len(walk)/prm.Lanes)
+			n.lanes = append(n.lanes, &laneState{})
+		}
+	}
+	return n
+}
+
+func newIrRouter(id int, n *Network) *irRouter {
+	t := n.Topo
+	r := &irRouter{id: id, net: n}
+	nPorts := t.NumPorts()
+	r.inputs = make([][]*router.VC, nPorts)
+	r.vcFree = make([][]bool, nPorts)
+	for p := 0; p < nPorts; p++ {
+		if p == 0 {
+			for c := 0; c < int(message.NumClasses); c++ {
+				r.inputs[0] = append(r.inputs[0], router.NewVC(n.prm.InjQueueFlits, n.prm.InjQueueFlits))
+			}
+			continue
+		}
+		for v := 0; v < n.prm.VCs; v++ {
+			r.inputs[p] = append(r.inputs[p], router.NewVC(n.prm.BufFlits, 1))
+		}
+		r.vcFree[p] = make([]bool, n.prm.VCs)
+		for v := range r.vcFree[p] {
+			r.vcFree[p][v] = true
+		}
+	}
+	r.saInArb = make([]*router.RRArbiter, nPorts)
+	r.saOutArb = make([]*router.RRArbiter, nPorts)
+	for p := 0; p < nPorts; p++ {
+		nv := len(r.inputs[p])
+		if nv == 0 {
+			nv = 1
+		}
+		r.saInArb[p] = router.NewRRArbiter(nv)
+		r.saOutArb[p] = router.NewRRArbiter(nPorts)
+	}
+	return r
+}
+
+// Cycle reports the current cycle.
+func (n *Network) Cycle() int64 { return n.cycle }
+
+// injectPacket is the NIC → router hook.
+func (r *irRouter) injectPacket(pkt *message.Packet) bool {
+	q := r.inputs[0][pkt.Class]
+	if !q.CanAccept(pkt.Len) {
+		return false
+	}
+	q.EnqueueWhole(pkt, r.net.cycle)
+	return true
+}
+
+// ResidentPackets counts packets buffered in routers plus those riding
+// lanes or parked in landing registers.
+func (n *Network) ResidentPackets() int {
+	c := 0
+	for _, r := range n.routers {
+		for _, port := range r.inputs {
+			for _, vc := range port {
+				c += vc.Len()
+			}
+		}
+	}
+	for _, ls := range n.lanes {
+		if ls.pkt != nil {
+			c++
+		}
+	}
+	for _, l := range n.landing {
+		c += len(l)
+	}
+	return c
+}
+
+// SourceBacklog counts packets waiting at source NICs.
+func (n *Network) SourceBacklog() int {
+	t := 0
+	for _, nc := range n.NICs {
+		t += nc.TotalSourceDepth()
+	}
+	return t
+}
+
+// Step advances one cycle.
+func (n *Network) Step() {
+	for i := range n.claims {
+		n.claims[i] = false
+	}
+	n.stepLanes()
+	n.drainLandings()
+	for _, nc := range n.NICs {
+		nc.Tick(n.cycle)
+	}
+	for _, r := range n.routers {
+		r.step()
+	}
+	n.shift()
+	n.cycle++
+}
+
+// Run advances k cycles.
+func (n *Network) Run(k int) {
+	for i := 0; i < k; i++ {
+		n.Step()
+	}
+}
+
+// shift advances link and credit pipelines.
+func (n *Network) shift() {
+	for _, ch := range n.channels {
+		if ch.cur.valid {
+			dst := n.routers[ch.link.Dst]
+			if ch.cur.flit.IsHead() {
+				dst.inputs[ch.link.DstPort][ch.cur.vc].AcceptHead(ch.cur.flit.Pkt, n.cycle)
+			} else {
+				dst.inputs[ch.link.DstPort][ch.cur.vc].AcceptBody(ch.cur.flit.Pkt, n.cycle)
+			}
+		}
+		ch.cur = ch.next
+		ch.next = transit{}
+		if len(ch.creditNext) > 0 {
+			src := n.routers[ch.link.Src]
+			for _, vc := range ch.creditNext {
+				src.vcFree[ch.link.SrcPort][vc] = true
+			}
+			ch.creditNext = ch.creditNext[:0]
+		}
+	}
+}
+
+// drainLandings moves landed FastPass packets into their ejection
+// queues as space frees (they hold a reservation made at promotion).
+func (n *Network) drainLandings() {
+	for node := range n.landing {
+		kept := n.landing[node][:0]
+		for _, pkt := range n.landing[node] {
+			if n.NICs[node].CanEject(pkt) {
+				n.NICs[node].EjectFast(n.cycle, pkt)
+				n.landingRsv[node]--
+				n.Delivered++
+				continue
+			}
+			kept = append(kept, pkt)
+		}
+		n.landing[node] = kept
+	}
+}
+
+// walkLink returns the link at walk position p (wrapping).
+func (n *Network) walkLink(p int) topology.Link {
+	return n.Topo.Links()[n.walk[((p%len(n.walk))+len(n.walk))%len(n.walk)]]
+}
+
+// stepsToDst returns how many walk steps from position p until the walk
+// first arrives at node dst, using the per-node arrival index (every
+// node is reachable on a holistic walk, so the result is always in
+// [1, len(walk)]).
+func (n *Network) stepsToDst(p, dst int) int {
+	arr := n.arrivals[dst]
+	if len(arr) == 0 {
+		return -1
+	}
+	L := len(n.walk)
+	pos := ((p % L) + L) % L
+	// First arrival position >= pos, else wrap to the earliest.
+	lo, hi := 0, len(arr)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if arr[mid] < pos {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	var a int
+	if lo < len(arr) {
+		a = arr[lo]
+	} else {
+		a = arr[0] + L
+	}
+	return a - pos + 1
+}
+
+// stepLanes advances every circulating lane one walk link, delivering
+// and picking up packets.
+func (n *Network) stepLanes() {
+	L := len(n.walk)
+	for i, ls := range n.lanes {
+		pos := n.lanePos[i]
+		if ls.pkt != nil {
+			// Claim the links under the packet's flits: flit k crosses
+			// the link k positions behind the head this cycle (the rear
+			// of the train never reaches behind the boarding point).
+			rear := ls.pkt.Len - 1
+			if ls.progress < rear {
+				rear = ls.progress
+			}
+			for k := 0; k <= rear; k++ {
+				n.claimWalkLink(pos - k)
+			}
+			ls.progress++
+			ls.dstCountdown--
+			if ls.dstCountdown <= 0 {
+				// Head has arrived; the body flits stream in behind it
+				// over Len-1 further cycles. The reserved landing slot
+				// absorbs the packet whole; if the ejection queue has
+				// room right now it passes straight through.
+				dst := ls.pkt.Dst
+				if n.NICs[dst].CanEject(ls.pkt) {
+					n.NICs[dst].EjectFast(n.cycle, ls.pkt)
+					n.landingRsv[dst]--
+					n.Delivered++
+				} else {
+					n.landing[dst] = append(n.landing[dst], ls.pkt)
+					n.LandingWaits++
+				}
+				ls.pkt = nil
+			}
+		} else {
+			// Pickup at the node the lane head is entering this cycle.
+			// (A lane that delivered this cycle stays cold until the
+			// next: its final link claims are still live.)
+			n.tryPickup(i, pos)
+		}
+		n.lanePos[i] = (pos + 1) % L
+	}
+}
+
+func (n *Network) claimWalkLink(p int) {
+	id := n.walk[((p%len(n.walk))+len(n.walk))%len(n.walk)]
+	if n.claims[id] {
+		panic(fmt.Sprintf("irrnet: walk link %d claimed twice in cycle %d — lanes overlap", id, n.cycle))
+	}
+	n.claims[id] = true
+}
+
+// tryPickup promotes a packet at the lane's current node if the lane is
+// free and a landing slot at its destination can be reserved.
+func (n *Network) tryPickup(lane, pos int) {
+	node := n.walkLink(pos).Src
+	r := n.routers[node]
+	ls := n.lanes[lane]
+	// Scan order follows the paper: injection queues first (request
+	// class first), then the network ports round-robin.
+	type slot struct{ port, vc int }
+	var scan []slot
+	scan = append(scan, slot{0, int(message.Request)}, slot{0, int(message.Response)})
+	for cl := message.Class(0); cl < message.NumClasses; cl++ {
+		if cl != message.Request && cl != message.Response {
+			scan = append(scan, slot{0, int(cl)})
+		}
+	}
+	nPorts := n.Topo.NumPorts()
+	total := (nPorts - 1) * n.prm.VCs
+	for k := 0; k < total; k++ {
+		j := (ls.scanPtr + k) % total
+		scan = append(scan, slot{1 + j/n.prm.VCs, j % n.prm.VCs})
+	}
+	for _, sl := range scan {
+		if sl.port >= len(r.inputs) || sl.vc >= len(r.inputs[sl.port]) {
+			continue
+		}
+		vcq := r.inputs[sl.port][sl.vc]
+		e := vcq.Head()
+		if e == nil || !e.FullyBuffered() || e.Pkt.Dst == node {
+			continue
+		}
+		dst := e.Pkt.Dst
+		if n.landingRsv[dst]+len(n.landing[dst]) >= n.prm.LandingCap {
+			continue
+		}
+		steps := n.stepsToDst(pos, dst)
+		if steps < 0 {
+			continue
+		}
+		pkt := r.removeHead(sl.port, sl.vc)
+		if pkt == nil {
+			continue
+		}
+		if sl.port != 0 {
+			ls.scanPtr = ((sl.port-1)*n.prm.VCs + sl.vc + 1) % total
+		}
+		pkt.Kind = message.FastPass
+		pkt.FastCycles += int64(steps)
+		ls.pkt = pkt
+		ls.dstCountdown = steps
+		ls.progress = 0
+		n.landingRsv[dst]++
+		n.Promoted++
+		// The head flit crosses this cycle's walk link immediately.
+		n.claimWalkLink(pos)
+		ls.progress = 1
+		ls.dstCountdown--
+		if ls.dstCountdown <= 0 {
+			// Single-hop ride: the head arrives next cycle... deliver
+			// through the reserved landing as usual.
+			if n.NICs[dst].CanEject(pkt) {
+				n.NICs[dst].EjectFast(n.cycle, pkt)
+				n.landingRsv[dst]--
+				n.Delivered++
+			} else {
+				n.landing[dst] = append(n.landing[dst], pkt)
+				n.LandingWaits++
+			}
+			ls.pkt = nil
+		}
+		return
+	}
+}
+
+// removeHead extracts a fully-buffered head packet, releasing claims
+// and crediting upstream.
+func (r *irRouter) removeHead(port, vc int) *message.Packet {
+	vcq := r.inputs[port][vc]
+	e := vcq.Head()
+	if e == nil || !e.FullyBuffered() {
+		return nil
+	}
+	if e.Allocated {
+		if e.OutPort == 0 {
+			r.net.NICs[r.id].CancelEject(e.Pkt)
+			r.ejecting[e.Pkt.Class] = false
+		} else {
+			r.vcFree[e.OutPort][e.OutVC] = true
+		}
+		e.Allocated = false
+	}
+	pkt := vcq.RemoveHead()
+	if port != 0 {
+		if l := r.inLink(port); l != nil {
+			r.net.channelFor(l).creditNext = append(r.net.channelFor(l).creditNext, vc)
+		}
+	}
+	return pkt
+}
+
+// inLink returns the directed link feeding input port p.
+func (r *irRouter) inLink(p int) *topology.Link {
+	for i := range r.net.Topo.Links() {
+		l := &r.net.Topo.Links()[i]
+		if l.Dst == r.id && int(l.DstPort) == p {
+			return l
+		}
+	}
+	return nil
+}
+
+func (n *Network) channelFor(l *topology.Link) *channel { return n.channels[l.ID] }

@@ -1,0 +1,285 @@
+package irrnet
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/message"
+	"repro/internal/topology"
+)
+
+// ring builds an n-node ring (the minimal irregular fabric where
+// adaptive routing deadlocks).
+func ring(t *testing.T, n int) *topology.Irregular {
+	t.Helper()
+	var edges [][2]int
+	for i := 0; i < n; i++ {
+		edges = append(edges, [2]int{i, (i + 1) % n})
+	}
+	g, err := topology.NewIrregular(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// chordal builds a richer irregular fabric.
+func chordal(t *testing.T) *topology.Irregular {
+	t.Helper()
+	g, err := topology.NewIrregular(9, [][2]int{
+		{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0},
+		{0, 3}, {1, 4},
+		{2, 6}, {6, 7}, {7, 8}, {8, 6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSinglePacketDelivery(t *testing.T) {
+	g := chordal(t)
+	n := New(g, Params{Seed: 1})
+	var got *message.Packet
+	for _, nc := range n.NICs {
+		nc.OnEject = func(p *message.Packet) { got = p }
+	}
+	pkt := message.NewPacket(1, 0, 8, message.Request, 5, 0)
+	n.NICs[0].EnqueueSource(pkt)
+	n.Run(200)
+	if got != pkt {
+		t.Fatal("packet not delivered")
+	}
+	if pkt.Latency() > 60 {
+		t.Errorf("zero-load latency %d too high", pkt.Latency())
+	}
+}
+
+func TestAllToAllDrainsAndConserves(t *testing.T) {
+	g := chordal(t)
+	n := New(g, Params{Seed: 2})
+	delivered := 0
+	for _, nc := range n.NICs {
+		nc.OnEject = func(*message.Packet) { delivered++ }
+	}
+	total := 0
+	id := uint64(0)
+	for round := 0; round < 5; round++ {
+		for s := 0; s < 9; s++ {
+			for d := 0; d < 9; d++ {
+				if s == d {
+					continue
+				}
+				id++
+				ln := 1
+				if id%2 == 0 {
+					ln = 5
+				}
+				n.NICs[s].EnqueueSource(message.NewPacket(id, s, d, message.Class(id%6), ln, 0))
+				total++
+			}
+		}
+	}
+	for i := 0; i < 100000 && delivered < total; i++ {
+		n.Step()
+	}
+	if delivered != total {
+		t.Fatalf("delivered %d of %d (resident %d, backlog %d)",
+			delivered, total, n.ResidentPackets(), n.SourceBacklog())
+	}
+	if n.ResidentPackets() != 0 || n.SourceBacklog() != 0 {
+		t.Error("network should be empty after drain")
+	}
+}
+
+// Sustained one-directional ring traffic deadlocks the bare adaptive
+// network; the circulating lanes must rescue it (§III-F's purpose).
+func TestLanesResolveRingDeadlock(t *testing.T) {
+	load := func(n *Network) int {
+		total := 0
+		id := uint64(0)
+		for round := 0; round < 150; round++ {
+			for s := 0; s < 8; s++ {
+				d := (s + 3) % 8
+				id++
+				ln := 1
+				if id%2 == 0 {
+					ln = 5
+				}
+				n.NICs[s].EnqueueSource(message.NewPacket(id, s, d, message.Request, ln, 0))
+				total++
+			}
+		}
+		return total
+	}
+	// Control: lanes off.
+	bare := New(ring(t, 8), Params{Seed: 3, VCs: 1, DisableLanes: true})
+	bareDelivered := 0
+	for _, nc := range bare.NICs {
+		nc.OnEject = func(*message.Packet) { bareDelivered++ }
+	}
+	bareTotal := load(bare)
+	bare.Run(120000)
+	if bareDelivered == bareTotal {
+		t.Skip("bare ring did not deadlock under this seed; nothing to rescue")
+	}
+
+	// FastPass lanes on: everything must drain.
+	fp := New(ring(t, 8), Params{Seed: 3, VCs: 1})
+	fpDelivered := 0
+	for _, nc := range fp.NICs {
+		nc.OnEject = func(*message.Packet) { fpDelivered++ }
+	}
+	fpTotal := load(fp)
+	for i := 0; i < 600000 && fpDelivered < fpTotal; i++ {
+		fp.Step()
+	}
+	if fpDelivered != fpTotal {
+		t.Fatalf("lanes failed to resolve ring deadlock: %d of %d (promoted %d)",
+			fpDelivered, fpTotal, fp.Promoted)
+	}
+	if fp.Promoted == 0 {
+		t.Error("no promotions during deadlock resolution")
+	}
+	t.Logf("bare ring stuck at %d/%d; lanes delivered %d/%d (promoted %d, landing waits %d)",
+		bareDelivered, bareTotal, fpDelivered, fpTotal, fp.Promoted, fp.LandingWaits)
+}
+
+// Lane claims must never collide — the built-in double-claim panic is
+// armed throughout this stress run on random graphs.
+func TestLanesNeverCollideOnRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		nNodes := 5 + rng.Intn(8)
+		var edges [][2]int
+		have := map[[2]int]bool{}
+		add := func(a, b int) {
+			if a == b {
+				return
+			}
+			k := [2]int{a, b}
+			if a > b {
+				k = [2]int{b, a}
+			}
+			if have[k] {
+				return
+			}
+			have[k] = true
+			edges = append(edges, [2]int{a, b})
+		}
+		for v := 1; v < nNodes; v++ {
+			add(v, rng.Intn(v))
+		}
+		for e := 0; e < nNodes; e++ {
+			add(rng.Intn(nNodes), rng.Intn(nNodes))
+		}
+		g, err := topology.NewIrregular(nNodes, edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := New(g, Params{Seed: int64(trial), Lanes: 3})
+		delivered := 0
+		for _, nc := range n.NICs {
+			nc.OnEject = func(*message.Packet) { delivered++ }
+		}
+		total := 0
+		id := uint64(0)
+		for round := 0; round < 4; round++ {
+			for s := 0; s < nNodes; s++ {
+				d := rng.Intn(nNodes)
+				if d == s {
+					continue
+				}
+				id++
+				n.NICs[s].EnqueueSource(message.NewPacket(id, s, d, message.Class(id%6), 1+int(id%2)*4, 0))
+				total++
+			}
+		}
+		for i := 0; i < 60000 && delivered < total; i++ {
+			n.Step()
+		}
+		if delivered != total {
+			t.Fatalf("trial %d: delivered %d of %d", trial, delivered, total)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (int64, int64) {
+		g := chordal(t)
+		n := New(g, Params{Seed: 11})
+		var latSum int64
+		for _, nc := range n.NICs {
+			nc.OnEject = func(p *message.Packet) { latSum += p.Latency() }
+		}
+		id := uint64(0)
+		for s := 0; s < 9; s++ {
+			for k := 0; k < 6; k++ {
+				id++
+				d := int(id*5) % 9
+				if d == s {
+					d = (d + 1) % 9
+				}
+				n.NICs[s].EnqueueSource(message.NewPacket(id, s, d, message.Request, 1+int(id%2)*4, 0))
+			}
+		}
+		n.Run(5000)
+		return latSum, n.Promoted
+	}
+	l1, p1 := run()
+	l2, p2 := run()
+	if l1 != l2 || p1 != p2 {
+		t.Fatalf("non-deterministic: (%d,%d) vs (%d,%d)", l1, p1, l2, p2)
+	}
+}
+
+func TestLaneSpacingBound(t *testing.T) {
+	g := ring(t, 4) // 8 directed links
+	n := New(g, Params{Seed: 1, Lanes: 100})
+	if len(n.lanes) > 1 {
+		t.Errorf("lane count %d exceeds the walk-spacing bound for 8 links", len(n.lanes))
+	}
+}
+
+// Promotions respect the landing capacity: a stalled consumer fills the
+// landing register, after which lanes stop promoting toward that node
+// instead of overflowing it.
+func TestLandingBackpressure(t *testing.T) {
+	g := chordal(t)
+	n := New(g, Params{Seed: 5, LandingCap: 2})
+	dst := 4
+	stalled := true
+	n.NICs[dst].Consumer = nicStall(func() bool { return !stalled })
+	delivered := 0
+	for _, nc := range n.NICs {
+		nc.OnEject = func(*message.Packet) { delivered++ }
+	}
+	total := 0
+	id := uint64(0)
+	for round := 0; round < 10; round++ {
+		for s := 0; s < 9; s++ {
+			if s == dst {
+				continue
+			}
+			id++
+			n.NICs[s].EnqueueSource(message.NewPacket(id, s, dst, message.Request, 1, 0))
+			total++
+		}
+	}
+	n.Run(30000)
+	if got := len(n.landing[dst]) + n.landingRsv[dst]; got > 2 {
+		t.Fatalf("landing register overflowed: %d slots used", got)
+	}
+	stalled = false
+	for i := 0; i < 300000 && delivered < total; i++ {
+		n.Step()
+	}
+	if delivered != total {
+		t.Fatalf("delivered %d of %d after unstall", delivered, total)
+	}
+}
+
+// nicStall adapts a predicate to the nic.Consumer interface.
+type nicStall func() bool
+
+func (f nicStall) TryConsume(int64, *message.Packet) bool { return f() }

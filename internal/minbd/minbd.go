@@ -1,0 +1,279 @@
+// Package minbd implements the MinBD baseline [Fallin et al., NOCS'12]:
+// a minimally-buffered deflection network. Routers have no input VC
+// buffers — every flit arriving on a link must leave on some output the
+// next cycle. Flits contend for productive ports by packet age (oldest
+// first); losers park in a small side buffer when it has room and are
+// deflected onto whatever ports remain free otherwise. Flits of a packet
+// travel independently and reassemble at the destination.
+//
+// Deflection wastes link bandwidth, which is why MinBD's throughput
+// collapses well before the buffered schemes in Fig. 7 despite its tiny
+// area (Fig. 11). Each hop costs one router cycle plus one link cycle,
+// matching the buffered schemes' timing.
+package minbd
+
+import (
+	"sort"
+
+	"repro/internal/message"
+	"repro/internal/topology"
+)
+
+// Params tunes MinBD.
+type Params struct {
+	// EjectCap is the per-node ejection bandwidth in flits/cycle.
+	EjectCap int
+	// SideCap is the per-router side buffer capacity in flits (4 in the
+	// original design).
+	SideCap int
+}
+
+func (p *Params) setDefaults() {
+	if p.EjectCap == 0 {
+		p.EjectCap = 1
+	}
+	if p.SideCap == 0 {
+		p.SideCap = 4
+	}
+}
+
+// Network is a deflection NoC instance.
+type Network struct {
+	Mesh *topology.Mesh
+	prm  Params
+
+	// next is the wire (written this cycle), mid the downstream pipeline
+	// latch, cur the flits being routed this cycle. A nil Pkt means the
+	// register is empty.
+	cur, mid, next []message.Flit
+	// inLinks caches the directed links entering each node.
+	inLinks [][]int
+
+	side   [][]message.Flit
+	source [][]*message.Packet // per node FIFO
+	injSeq []int               // next flit of the head packet to inject
+
+	// rx counts flits of each packet received at its destination.
+	rx map[uint64]int
+
+	cycle int64
+
+	// OnEject observes fully reassembled packets.
+	OnEject func(pkt *message.Packet)
+
+	// Deflections counts non-productive flit hops; SideBuffered counts
+	// parks; Ejections counts delivered packets.
+	Deflections, SideBuffered, Ejections int64
+
+	resident int
+}
+
+// New builds a MinBD network.
+func New(mesh *topology.Mesh, prm Params) *Network {
+	prm.setDefaults()
+	n := &Network{
+		Mesh:   mesh,
+		prm:    prm,
+		cur:    make([]message.Flit, len(mesh.Links())),
+		mid:    make([]message.Flit, len(mesh.Links())),
+		next:   make([]message.Flit, len(mesh.Links())),
+		side:   make([][]message.Flit, mesh.NumNodes()),
+		source: make([][]*message.Packet, mesh.NumNodes()),
+		injSeq: make([]int, mesh.NumNodes()),
+		rx:     make(map[uint64]int),
+	}
+	n.inLinks = make([][]int, mesh.NumNodes())
+	for _, l := range mesh.Links() {
+		n.inLinks[l.Dst] = append(n.inLinks[l.Dst], l.ID)
+	}
+	return n
+}
+
+// Cycle reports the current cycle.
+func (n *Network) Cycle() int64 { return n.cycle }
+
+// EnqueueSource queues a packet for injection at its source node.
+func (n *Network) EnqueueSource(pkt *message.Packet) {
+	n.source[pkt.Src] = append(n.source[pkt.Src], pkt)
+}
+
+// Resident reports packets with flits in flight or side-buffered.
+func (n *Network) Resident() int { return n.resident }
+
+// SourceBacklog reports un-injected packets (a partially injected head
+// packet still counts).
+func (n *Network) SourceBacklog() int {
+	t := 0
+	for _, q := range n.source {
+		t += len(q)
+	}
+	return t
+}
+
+// older orders flits by packet age, then packet ID, then flit sequence
+// (deterministic).
+func older(a, b message.Flit) bool {
+	if a.Pkt.CreateTime != b.Pkt.CreateTime {
+		return a.Pkt.CreateTime < b.Pkt.CreateTime
+	}
+	if a.Pkt.ID != b.Pkt.ID {
+		return a.Pkt.ID < b.Pkt.ID
+	}
+	return a.Seq < b.Seq
+}
+
+// Step advances one cycle.
+func (n *Network) Step() {
+	for node := 0; node < n.Mesh.NumNodes(); node++ {
+		n.stepRouter(node)
+	}
+	n.cur, n.mid, n.next = n.mid, n.next, n.cur
+	for i := range n.next {
+		n.next[i] = message.Flit{}
+	}
+	n.cycle++
+}
+
+// outLinks lists the directed links leaving node.
+func (n *Network) outLinks(node int) []*topology.Link {
+	var out []*topology.Link
+	for d := topology.North; d <= topology.West; d++ {
+		if l := n.Mesh.OutLink(node, d); l != nil {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+func (n *Network) stepRouter(node int) {
+	var arrivals []message.Flit
+	for _, id := range n.inLinks[node] {
+		if n.cur[id].Pkt != nil {
+			arrivals = append(arrivals, n.cur[id])
+		}
+	}
+	sort.Slice(arrivals, func(i, j int) bool { return older(arrivals[i], arrivals[j]) })
+
+	outs := n.outLinks(node)
+	taken := make(map[int]bool, len(outs))
+	var dirBuf [2]topology.Direction
+	assign := func(f message.Flit, productiveOnly bool) bool {
+		for _, d := range n.Mesh.AppendPortToward(dirBuf[:0], node, f.Pkt.Dst) {
+			if l := n.Mesh.OutLink(node, d); l != nil && !taken[l.ID] {
+				taken[l.ID] = true
+				n.next[l.ID] = f
+				if f.IsHead() {
+					f.Pkt.Hops++
+				}
+				return true
+			}
+		}
+		if productiveOnly {
+			return false
+		}
+		for _, l := range outs {
+			if !taken[l.ID] {
+				taken[l.ID] = true
+				n.next[l.ID] = f
+				n.Deflections++
+				return true
+			}
+		}
+		return false
+	}
+
+	ejected := 0
+	// tryEject consumes one flit of ejection bandwidth; when the last
+	// flit of a packet lands, the packet completes. The caller adjusts
+	// the resident count (source-side flits were never resident).
+	tryEject := func(f message.Flit) (consumed, completed bool) {
+		if f.Pkt.Dst != node || ejected >= n.prm.EjectCap {
+			return false, false
+		}
+		ejected++
+		n.rx[f.Pkt.ID]++
+		if n.rx[f.Pkt.ID] == f.Pkt.Len {
+			delete(n.rx, f.Pkt.ID)
+			f.Pkt.EjectTime = n.cycle
+			n.Ejections++
+			if n.OnEject != nil {
+				n.OnEject(f.Pkt)
+			}
+			return true, true
+		}
+		return true, false
+	}
+
+	// Pass 1: link arrivals (oldest first): eject, else productive port.
+	var leftovers []message.Flit
+	for _, f := range arrivals {
+		if consumed, completed := tryEject(f); consumed {
+			if completed {
+				n.resident--
+			}
+			continue
+		}
+		if !assign(f, true) {
+			leftovers = append(leftovers, f)
+		}
+	}
+	// Pass 2: losers park in the side buffer when it has room, else
+	// deflect (pigeonhole guarantees a free port for link arrivals).
+	for _, f := range leftovers {
+		if len(n.side[node]) < n.prm.SideCap {
+			n.side[node] = append(n.side[node], f)
+			n.SideBuffered++
+			continue
+		}
+		if !assign(f, false) {
+			panic("minbd: link arrival had no output port")
+		}
+	}
+	// Pass 3: side buffer re-entry onto productive free ports only.
+	if len(n.side[node]) > 0 {
+		f := n.side[node][0]
+		if consumed, completed := tryEject(f); consumed {
+			if completed {
+				n.resident--
+			}
+			n.side[node] = n.side[node][1:]
+		} else if assign(f, true) {
+			n.side[node] = n.side[node][1:]
+		}
+	}
+	// Pass 4: inject the next flit of the head source packet.
+	if len(n.source[node]) > 0 {
+		pkt := n.source[node][0]
+		f := message.Flit{Pkt: pkt, Seq: n.injSeq[node]}
+		injected := false
+		if pkt.Dst == node {
+			// Self-addressed: injection feeds ejection directly; the
+			// packet never becomes network-resident.
+			consumed, _ := tryEject(f)
+			injected = consumed
+			if injected && n.injSeq[node] == 0 {
+				pkt.InjectTime = n.cycle
+			}
+		} else if assign(f, true) {
+			injected = true
+			if n.injSeq[node] == 0 {
+				pkt.InjectTime = n.cycle
+				n.resident++
+			}
+		}
+		if injected {
+			n.injSeq[node]++
+			if n.injSeq[node] == pkt.Len {
+				n.source[node] = n.source[node][1:]
+				n.injSeq[node] = 0
+			}
+		}
+	}
+}
+
+// Run advances k cycles.
+func (n *Network) Run(k int) {
+	for i := 0; i < k; i++ {
+		n.Step()
+	}
+}

@@ -1,0 +1,330 @@
+// Package network assembles routers, links and NICs into a running NoC
+// and drives the two-phase cycle loop. All inter-router state (flits on
+// links, credit returns) lives in pipelined registers written during a
+// cycle and shifted at its end, so router evaluation order can never
+// leak zero-latency information.
+//
+// Scheme behaviour plugs in through the Controller interface: FastPass's
+// lane manager, SPIN/SWAP/DRAIN's recovery engines and Pitstop's
+// rotating NI bypass all observe the network in PreCycle, claim links or
+// ejection ports, and move packets through the routers' explicit buffer
+// APIs.
+package network
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/message"
+	"repro/internal/nic"
+	"repro/internal/router"
+	"repro/internal/topology"
+)
+
+// Controller is a scheme's global agent. PreCycle runs before NIC and
+// router evaluation (claims for the *current* cycle are made here —
+// modelling lookahead signals that in hardware arrive a cycle early);
+// PostCycle runs after routers but before registers shift.
+type Controller interface {
+	Name() string
+	PreCycle(n *Network)
+	PostCycle(n *Network)
+}
+
+// NopController is a Controller that does nothing (pure router schemes
+// such as EscapeVC).
+type NopController struct{ Label string }
+
+// Name implements Controller.
+func (c NopController) Name() string { return c.Label }
+
+// PreCycle implements Controller.
+func (NopController) PreCycle(*Network) {}
+
+// PostCycle implements Controller.
+func (NopController) PostCycle(*Network) {}
+
+// transit is a flit in flight on a directed link.
+type transit struct {
+	flit  message.Flit
+	vc    int
+	valid bool
+}
+
+// channel is one directed link: a one-stage flit pipeline downstream and
+// a credit pipeline upstream.
+type channel struct {
+	link topology.Link
+	// next is the wire: it carries the flit driven this cycle. cur is
+	// the downstream router's link input latch, holding last cycle's
+	// flit until it is written into an input VC at the end of this
+	// cycle. Total per-hop latency: 1-cycle router + 1-cycle link.
+	cur, next transit
+	// creditNext carries VC-free indices flowing back to the source.
+	creditNext []int
+}
+
+// Params configures a network build.
+type Params struct {
+	Mesh     *topology.Mesh
+	Router   router.Config
+	EjectCap int
+	Seed     int64
+}
+
+// Network is a complete NoC instance.
+type Network struct {
+	Mesh    *topology.Mesh
+	Routers []*router.Router
+	NICs    []*nic.NIC
+
+	Controller Controller
+
+	channels    []*channel
+	linkClaims  []bool
+	ejectClaims []bool
+	cycle       int64
+
+	// Rand is the single deterministic source for the simulation.
+	Rand *rand.Rand
+
+	// FlitsOnLinks counts regular flit-cycles spent on links (link
+	// utilisation statistics).
+	FlitsOnLinks int64
+}
+
+// New builds a network. The Controller starts as a no-op; schemes attach
+// theirs afterwards.
+func New(p Params) *Network {
+	if p.EjectCap < 1 {
+		panic("network: ejection capacity must be positive")
+	}
+	n := &Network{
+		Mesh:       p.Mesh,
+		Controller: NopController{Label: "none"},
+		Rand:       rand.New(rand.NewSource(p.Seed)),
+	}
+	links := p.Mesh.Links()
+	n.channels = make([]*channel, len(links))
+	for i, l := range links {
+		n.channels[i] = &channel{link: l}
+	}
+	n.linkClaims = make([]bool, len(links))
+	n.ejectClaims = make([]bool, p.Mesh.NumNodes())
+	for id := 0; id < p.Mesh.NumNodes(); id++ {
+		n.Routers = append(n.Routers, router.New(id, p.Mesh, p.Router, n))
+		nc := nic.New(id, p.EjectCap)
+		r := n.Routers[id]
+		nc.Inject = r.InjectPacket
+		n.NICs = append(n.NICs, nc)
+	}
+	return n
+}
+
+// NIC returns the network interface of a node (protocol backend).
+func (n *Network) NIC(node int) *nic.NIC { return n.NICs[node] }
+
+// Nodes reports the node count (protocol backend).
+func (n *Network) Nodes() int { return n.Mesh.NumNodes() }
+
+// --- router.Env implementation ---
+
+// Cycle implements router.Env.
+func (n *Network) Cycle() int64 { return n.cycle }
+
+// LinkClaimed implements router.Env.
+func (n *Network) LinkClaimed(linkID int) bool { return n.linkClaims[linkID] }
+
+// EjectClaimed implements router.Env.
+func (n *Network) EjectClaimed(node int) bool { return n.ejectClaims[node] }
+
+// SendFlit implements router.Env.
+func (n *Network) SendFlit(linkID int, f message.Flit, outVC int) {
+	ch := n.channels[linkID]
+	if ch.next.valid {
+		panic(fmt.Sprintf("network: two flits driven onto link %d in cycle %d", linkID, n.cycle))
+	}
+	ch.next = transit{flit: f, vc: outVC, valid: true}
+	n.FlitsOnLinks++
+}
+
+// SendVCFree implements router.Env.
+func (n *Network) SendVCFree(linkID int, vc int) {
+	ch := n.channels[linkID]
+	ch.creditNext = append(ch.creditNext, vc)
+}
+
+// CanEject implements router.Env.
+func (n *Network) CanEject(node int, pkt *message.Packet) bool {
+	return n.NICs[node].CanEject(pkt)
+}
+
+// BeginEject implements router.Env.
+func (n *Network) BeginEject(node int, pkt *message.Packet) { n.NICs[node].BeginEject(pkt) }
+
+// CancelEject implements router.Env.
+func (n *Network) CancelEject(node int, pkt *message.Packet) { n.NICs[node].CancelEject(pkt) }
+
+// EjectFlit implements router.Env.
+func (n *Network) EjectFlit(node int, f message.Flit) { n.NICs[node].EjectFlit(n.cycle, f) }
+
+// --- controller-facing API ---
+
+// ClaimLink asserts bypass ownership of a directed link for the current
+// cycle. Double claims panic: non-overlap of FastPass-Lanes (and their
+// returning paths) is a correctness invariant of the paper, so a
+// violation is a simulator bug, not a runtime condition.
+func (n *Network) ClaimLink(linkID int) {
+	if n.linkClaims[linkID] {
+		panic(fmt.Sprintf("network: link %d claimed twice in cycle %d — lanes overlap", linkID, n.cycle))
+	}
+	n.linkClaims[linkID] = true
+}
+
+// TryClaimLink claims a link if free and reports success. Opportunistic
+// bypasses (TFC tokens) use it — unlike FastPass lanes, their claims may
+// collide by design, and the loser simply stays buffered.
+func (n *Network) TryClaimLink(linkID int) bool {
+	if n.linkClaims[linkID] {
+		return false
+	}
+	n.linkClaims[linkID] = true
+	return true
+}
+
+// ClaimEject asserts bypass ownership of a node's ejection port for the
+// current cycle.
+func (n *Network) ClaimEject(node int) {
+	if n.ejectClaims[node] {
+		panic(fmt.Sprintf("network: ejection port %d claimed twice in cycle %d", node, n.cycle))
+	}
+	n.ejectClaims[node] = true
+}
+
+// LinkBusy reports whether a regular flit occupies either pipeline
+// stage of the link (diagnostics). A claim always prevents a regular
+// flit from being driven onto the wire in the same cycle, so FastPass
+// flits never share the wire with regular ones; the cur stage is a
+// latch inside the downstream router, not the wire itself.
+func (n *Network) LinkBusy(linkID int) bool {
+	ch := n.channels[linkID]
+	return ch.cur.valid || ch.next.valid
+}
+
+// --- simulation loop ---
+
+// Step advances the network one cycle.
+func (n *Network) Step() {
+	for i := range n.linkClaims {
+		n.linkClaims[i] = false
+	}
+	for i := range n.ejectClaims {
+		n.ejectClaims[i] = false
+	}
+	n.Controller.PreCycle(n)
+	for _, nc := range n.NICs {
+		nc.Tick(n.cycle)
+	}
+	for _, r := range n.Routers {
+		r.Step()
+	}
+	n.Controller.PostCycle(n)
+	n.shift()
+	n.cycle++
+}
+
+// shift advances all link and credit pipelines and delivers arrivals.
+func (n *Network) shift() {
+	for _, ch := range n.channels {
+		if ch.cur.valid {
+			dst := n.Routers[ch.link.Dst]
+			if ch.cur.flit.IsHead() {
+				dst.DeliverHead(ch.link.DstPort, ch.cur.vc, ch.cur.flit.Pkt)
+			} else {
+				dst.DeliverBody(ch.link.DstPort, ch.cur.vc, ch.cur.flit.Pkt)
+			}
+		}
+		ch.cur = ch.next
+		ch.next = transit{}
+		if len(ch.creditNext) > 0 {
+			src := n.Routers[ch.link.Src]
+			for _, vc := range ch.creditNext {
+				src.MarkVCFree(ch.link.SrcPort, vc)
+			}
+			ch.creditNext = ch.creditNext[:0]
+		}
+	}
+}
+
+// Run advances the network k cycles.
+func (n *Network) Run(k int) {
+	for i := 0; i < k; i++ {
+		n.Step()
+	}
+}
+
+// ResidentPackets returns every packet currently buffered in any router
+// (conservation checks, deadlock diagnostics). Packets on links are
+// counted via FlitsInFlight.
+func (n *Network) ResidentPackets() []*message.Packet {
+	var pkts []*message.Packet
+	for _, r := range n.Routers {
+		pkts = append(pkts, r.ResidentPackets()...)
+	}
+	return pkts
+}
+
+// FlitsInFlight counts flits in link pipelines.
+func (n *Network) FlitsInFlight() int {
+	c := 0
+	for _, ch := range n.channels {
+		if ch.cur.valid {
+			c++
+		}
+		if ch.next.valid {
+			c++
+		}
+	}
+	return c
+}
+
+// VerifyQuiescent checks the invariants of an empty network: no
+// resident packets, no flits in flight, every credit returned (each
+// router sees every downstream VC free), and no pending credits in the
+// pipes. Drain-style tests call it after full delivery — any violation
+// is a leak in buffer or credit bookkeeping.
+func (n *Network) VerifyQuiescent() error {
+	if got := len(n.ResidentPackets()); got != 0 {
+		return fmt.Errorf("network: %d packets still resident", got)
+	}
+	if got := n.FlitsInFlight(); got != 0 {
+		return fmt.Errorf("network: %d flits still on links", got)
+	}
+	for _, ch := range n.channels {
+		if len(ch.creditNext) != 0 {
+			return fmt.Errorf("network: link %d has %d undelivered credits", ch.link.ID, len(ch.creditNext))
+		}
+	}
+	for _, r := range n.Routers {
+		for p := topology.Direction(1); int(p) < n.Mesh.NumPorts(); p++ {
+			if r.OutLinkID(p) < 0 {
+				continue
+			}
+			for v := 0; v < r.Cfg.NetVCs(); v++ {
+				if !r.DownstreamVCFree(p, v) {
+					return fmt.Errorf("network: router %d sees (%v, vc %d) still claimed at quiescence", r.ID, p, v)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// SourceBacklog sums un-injected packets across all NICs.
+func (n *Network) SourceBacklog() int {
+	t := 0
+	for _, nc := range n.NICs {
+		t += nc.TotalSourceDepth()
+	}
+	return t
+}

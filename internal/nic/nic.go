@@ -1,0 +1,264 @@
+// Package nic implements the network interface controller of each node:
+// per-class source queues feeding the router's injection buffers,
+// per-class ejection queues with FastPass reservations (§III-C4, Qn 3/4),
+// flit reassembly for regular ejections, and a pluggable consumer model
+// standing in for the processor/cache controller.
+package nic
+
+import (
+	"fmt"
+
+	"repro/internal/message"
+)
+
+// Consumer models the processor side draining ejection queues. For
+// synthetic traffic it consumes immediately; the protocol engine
+// implements stall behaviour (a core that won't take requests while it
+// awaits a response) to create protocol-level deadlock pressure.
+type Consumer interface {
+	// TryConsume is offered the head packet of an ejection queue and
+	// reports whether it was consumed this cycle.
+	TryConsume(cycle int64, pkt *message.Packet) bool
+}
+
+// ConsumeFunc adapts a function to the Consumer interface.
+type ConsumeFunc func(cycle int64, pkt *message.Packet) bool
+
+// TryConsume implements Consumer.
+func (f ConsumeFunc) TryConsume(cycle int64, pkt *message.Packet) bool { return f(cycle, pkt) }
+
+// ImmediateConsumer always consumes (ejection queues drain every cycle),
+// matching the paper's observation that ejected packets are consumed
+// almost immediately under synthetic traffic.
+var ImmediateConsumer Consumer = ConsumeFunc(func(int64, *message.Packet) bool { return true })
+
+// NIC is one node's network interface.
+type NIC struct {
+	Node int
+
+	// EjectCap is the per-class ejection queue capacity in packets.
+	EjectCap int
+
+	// Inject pushes a packet into the router's injection queue for its
+	// class, reporting false when full; wired by the network builder.
+	Inject func(pkt *message.Packet) bool
+
+	// OnEject, when set, observes every packet leaving the network.
+	OnEject func(pkt *message.Packet)
+
+	// Consumer drains ejection queues; defaults to ImmediateConsumer.
+	Consumer Consumer
+
+	source [message.NumClasses][]*message.Packet
+	eject  [message.NumClasses][]*message.Packet
+	// reserved lists FastPass packet IDs with a claim on the next free
+	// slots of the class queue, in arrival order (Qn 3).
+	reserved [message.NumClasses][]uint64
+	// pending counts regular packets mid-ejection (BeginEject'd but not
+	// yet fully reassembled) per class.
+	pending [message.NumClasses]int
+	// assembling is the regular packet currently streaming out of the
+	// router per class, with the flit count received.
+	assembling     [message.NumClasses]*message.Packet
+	assembledFlits [message.NumClasses]int
+
+	// Consumed counts packets drained by the consumer, per class.
+	Consumed [message.NumClasses]int64
+}
+
+// New constructs a NIC with the given per-class ejection capacity.
+func New(node, ejectCap int) *NIC {
+	if ejectCap < 1 {
+		panic("nic: ejection capacity must be positive")
+	}
+	return &NIC{Node: node, EjectCap: ejectCap, Consumer: ImmediateConsumer}
+}
+
+// EnqueueSource appends a freshly generated packet to the class source
+// queue (unbounded: models the processor-side request stream; the
+// injection *buffers* in the router are the finite resource).
+func (n *NIC) EnqueueSource(pkt *message.Packet) {
+	n.source[pkt.Class] = append(n.source[pkt.Class], pkt)
+}
+
+// EnqueueSourceFront re-queues a packet at the front of its class source
+// queue: the MSHR regenerating a dropped injection request re-issues it
+// ahead of younger traffic.
+func (n *NIC) EnqueueSourceFront(pkt *message.Packet) {
+	q := n.source[pkt.Class]
+	n.source[pkt.Class] = append([]*message.Packet{pkt}, q...)
+}
+
+// SourceDepth reports queued packets for a class (throttling metric).
+func (n *NIC) SourceDepth(c message.Class) int { return len(n.source[c]) }
+
+// TotalSourceDepth reports queued packets across classes.
+func (n *NIC) TotalSourceDepth() int {
+	t := 0
+	for c := range n.source {
+		t += len(n.source[c])
+	}
+	return t
+}
+
+// Tick runs the per-cycle NIC work: drain ejection queues through the
+// consumer, then move source packets into the router injection queues.
+func (n *NIC) Tick(cycle int64) {
+	for c := range n.eject {
+		for len(n.eject[c]) > 0 {
+			head := n.eject[c][0]
+			if !n.Consumer.TryConsume(cycle, head) {
+				break
+			}
+			n.eject[c] = n.eject[c][1:]
+			n.Consumed[c]++
+		}
+	}
+	for c := range n.source {
+		for len(n.source[c]) > 0 {
+			if !n.Inject(n.source[c][0]) {
+				break
+			}
+			n.source[c] = n.source[c][1:]
+		}
+	}
+}
+
+// freeSlots is the raw free space of the class ejection queue, counting
+// in-flight regular ejections as occupied.
+func (n *NIC) freeSlots(c message.Class) int {
+	return n.EjectCap - len(n.eject[c]) - n.pending[c]
+}
+
+// reservationIndex returns the packet's position in the class
+// reservation list, or -1.
+func (n *NIC) reservationIndex(c message.Class, id uint64) int {
+	for i, r := range n.reserved[c] {
+		if r == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// CanEject reports whether a packet may (begin to) eject into its class
+// queue. Reserved slots are held for their FastPass packets: a packet
+// with a reservation needs enough free slots to cover the reservations
+// ahead of it; everyone else must additionally leave all reserved slots
+// untouched ("not until the rejected FastPass-Packet resides in the
+// intended ejection queue are other packets allowed to use it").
+func (n *NIC) CanEject(pkt *message.Packet) bool {
+	c := pkt.Class
+	free := n.freeSlots(c)
+	if i := n.reservationIndex(c, pkt.ID); i >= 0 {
+		return free >= i+1
+	}
+	return free >= len(n.reserved[c])+1
+}
+
+// TryReserve grants pkt the class queue's single reservation if none is
+// outstanding, and reports whether pkt now holds it. The paper reserves
+// each ejection queue for *the* rejected FastPass-Packet ("the queue is
+// reserved for A", Fig. 3); allowing a backlog of reservations would let
+// a packet whose turn can never come monopolise its prime's lane — so
+// later rejected packets simply retry until the reservation frees.
+func (n *NIC) TryReserve(pkt *message.Packet) bool {
+	if n.reservationIndex(pkt.Class, pkt.ID) >= 0 {
+		return true
+	}
+	if len(n.reserved[pkt.Class]) > 0 {
+		return false
+	}
+	n.reserved[pkt.Class] = append(n.reserved[pkt.Class], pkt.ID)
+	return true
+}
+
+// HasReservation reports whether pkt holds a reservation.
+func (n *NIC) HasReservation(pkt *message.Packet) bool {
+	return n.reservationIndex(pkt.Class, pkt.ID) >= 0
+}
+
+// Reservations reports the count of outstanding reservations per class.
+func (n *NIC) Reservations(c message.Class) int { return len(n.reserved[c]) }
+
+// BeginEject reserves space for a regular packet about to stream out of
+// the router's Local port; CanEject must have been consulted first.
+func (n *NIC) BeginEject(pkt *message.Packet) { n.pending[pkt.Class]++ }
+
+// CancelEject releases a BeginEject claim (the router force-removed the
+// packet before completion).
+func (n *NIC) CancelEject(pkt *message.Packet) {
+	if n.pending[pkt.Class] == 0 {
+		panic(fmt.Sprintf("nic %d: CancelEject with no pending ejection (%s)", n.Node, pkt))
+	}
+	n.pending[pkt.Class]--
+	if n.assembling[pkt.Class] == pkt {
+		n.assembling[pkt.Class] = nil
+		n.assembledFlits[pkt.Class] = 0
+	}
+}
+
+// EjectFlit receives one flit of a regular ejection. When the packet
+// completes it lands in the class queue.
+func (n *NIC) EjectFlit(cycle int64, f message.Flit) {
+	c := f.Pkt.Class
+	if n.assembling[c] == nil {
+		if !f.IsHead() {
+			panic(fmt.Sprintf("nic %d: body flit with no assembly (%s)", n.Node, f.Pkt))
+		}
+		n.assembling[c] = f.Pkt
+		n.assembledFlits[c] = 0
+	}
+	if n.assembling[c] != f.Pkt {
+		panic(fmt.Sprintf("nic %d: interleaved ejection of %s into %s", n.Node, f.Pkt, n.assembling[c]))
+	}
+	n.assembledFlits[c]++
+	if n.assembledFlits[c] == f.Pkt.Len {
+		n.assembling[c] = nil
+		n.assembledFlits[c] = 0
+		n.pending[c]--
+		n.finish(cycle, f.Pkt)
+	}
+}
+
+// EjectFast lands a whole FastPass packet in its class queue (the lane
+// controller has streamed its flits through the claimed ejection port).
+// Any reservation it held is released. CanEject must hold.
+func (n *NIC) EjectFast(cycle int64, pkt *message.Packet) {
+	if i := n.reservationIndex(pkt.Class, pkt.ID); i >= 0 {
+		n.reserved[pkt.Class] = append(n.reserved[pkt.Class][:i], n.reserved[pkt.Class][i+1:]...)
+	}
+	n.finish(cycle, pkt)
+}
+
+func (n *NIC) finish(cycle int64, pkt *message.Packet) {
+	if len(n.eject[pkt.Class]) >= n.EjectCap {
+		panic(fmt.Sprintf("nic %d: ejection queue overflow (%s)", n.Node, pkt))
+	}
+	pkt.EjectTime = cycle
+	n.eject[pkt.Class] = append(n.eject[pkt.Class], pkt)
+	if n.OnEject != nil {
+		n.OnEject(pkt)
+	}
+}
+
+// EjectDepth reports the occupancy of a class ejection queue.
+func (n *NIC) EjectDepth(c message.Class) int { return len(n.eject[c]) }
+
+// PeekEject returns the head of the class ejection queue without
+// consuming it (protocol engine inspection).
+func (n *NIC) PeekEject(c message.Class) *message.Packet {
+	if len(n.eject[c]) == 0 {
+		return nil
+	}
+	return n.eject[c][0]
+}
+
+// FreeSlotsDebug exposes the raw free-slot count for diagnostics.
+func (n *NIC) FreeSlotsDebug(c message.Class) int { return n.freeSlots(c) }
+
+// ReservationIndexDebug exposes a packet's reservation position for
+// diagnostics (-1 when it holds none).
+func (n *NIC) ReservationIndexDebug(pkt *message.Packet) int {
+	return n.reservationIndex(pkt.Class, pkt.ID)
+}

@@ -1,0 +1,253 @@
+package nic
+
+import (
+	"testing"
+
+	"repro/internal/message"
+)
+
+func pkt(id uint64, c message.Class, n int) *message.Packet {
+	return message.NewPacket(id, 0, 1, c, n, 0)
+}
+
+func TestTickMovesSourceToRouter(t *testing.T) {
+	n := New(0, 4)
+	var injected []*message.Packet
+	budget := 2
+	n.Inject = func(p *message.Packet) bool {
+		if len(injected) >= budget {
+			return false
+		}
+		injected = append(injected, p)
+		return true
+	}
+	for i := 0; i < 4; i++ {
+		n.EnqueueSource(pkt(uint64(i), message.Request, 1))
+	}
+	n.Tick(0)
+	if len(injected) != 2 {
+		t.Fatalf("injected %d, want 2 (router backpressure)", len(injected))
+	}
+	if n.SourceDepth(message.Request) != 2 {
+		t.Errorf("source depth = %d, want 2", n.SourceDepth(message.Request))
+	}
+	budget = 10
+	n.Tick(1)
+	if len(injected) != 4 || n.TotalSourceDepth() != 0 {
+		t.Errorf("drain failed: injected=%d depth=%d", len(injected), n.TotalSourceDepth())
+	}
+	// FIFO order preserved.
+	for i, p := range injected {
+		if p.ID != uint64(i) {
+			t.Errorf("injection order broken at %d: %v", i, p)
+		}
+	}
+}
+
+func TestEnqueueSourceFront(t *testing.T) {
+	n := New(0, 4)
+	a, b := pkt(1, message.Request, 1), pkt(2, message.Request, 1)
+	n.EnqueueSource(a)
+	n.EnqueueSourceFront(b)
+	var got []*message.Packet
+	n.Inject = func(p *message.Packet) bool { got = append(got, p); return true }
+	n.Tick(0)
+	if len(got) != 2 || got[0] != b || got[1] != a {
+		t.Fatalf("regenerated packet must go first: %v", got)
+	}
+}
+
+func TestRegularEjectionAssembly(t *testing.T) {
+	n := New(0, 4)
+	var seen []*message.Packet
+	n.OnEject = func(p *message.Packet) { seen = append(seen, p) }
+	p := pkt(1, message.Response, 3)
+	if !n.CanEject(p) {
+		t.Fatal("empty queue must accept")
+	}
+	n.BeginEject(p)
+	for i := 0; i < 3; i++ {
+		n.EjectFlit(int64(10+i), message.Flit{Pkt: p, Seq: i})
+	}
+	if len(seen) != 1 || seen[0] != p {
+		t.Fatalf("OnEject = %v", seen)
+	}
+	if p.EjectTime != 12 {
+		t.Errorf("EjectTime = %d, want 12", p.EjectTime)
+	}
+	if n.EjectDepth(message.Response) != 1 {
+		t.Errorf("depth = %d", n.EjectDepth(message.Response))
+	}
+}
+
+func TestPendingEjectionCountsAgainstCapacity(t *testing.T) {
+	n := New(0, 1)
+	a, b := pkt(1, message.Request, 2), pkt(2, message.Request, 1)
+	n.BeginEject(a)
+	if n.CanEject(b) {
+		t.Fatal("pending ejection must hold the slot")
+	}
+	n.CancelEject(a)
+	if !n.CanEject(b) {
+		t.Fatal("cancel must release the slot")
+	}
+}
+
+func TestConsumerDrainsQueues(t *testing.T) {
+	n := New(0, 2)
+	n.Consumer = ImmediateConsumer
+	p := pkt(1, message.Response, 1)
+	n.BeginEject(p)
+	n.EjectFlit(0, message.Flit{Pkt: p, Seq: 0})
+	n.Tick(1)
+	if n.EjectDepth(message.Response) != 0 {
+		t.Fatal("immediate consumer should drain")
+	}
+	if n.Consumed[message.Response] != 1 {
+		t.Errorf("Consumed = %d", n.Consumed[message.Response])
+	}
+}
+
+func TestStallingConsumerBlocksQueue(t *testing.T) {
+	n := New(0, 1)
+	stalled := true
+	n.Consumer = ConsumeFunc(func(_ int64, _ *message.Packet) bool { return !stalled })
+	p := pkt(1, message.Request, 1)
+	n.BeginEject(p)
+	n.EjectFlit(0, message.Flit{Pkt: p, Seq: 0})
+	n.Tick(1)
+	if n.EjectDepth(message.Request) != 1 {
+		t.Fatal("stalled consumer should leave the packet")
+	}
+	if n.CanEject(pkt(2, message.Request, 1)) {
+		t.Fatal("full queue must refuse")
+	}
+	stalled = false
+	n.Tick(2)
+	if n.EjectDepth(message.Request) != 0 {
+		t.Fatal("unstalled consumer should drain")
+	}
+}
+
+func TestReservationHoldsSlotForFastPassPacket(t *testing.T) {
+	n := New(0, 1)
+	// Fill the queue with a regular packet that the consumer won't take.
+	n.Consumer = ConsumeFunc(func(int64, *message.Packet) bool { return false })
+	occupant := pkt(1, message.Response, 1)
+	n.BeginEject(occupant)
+	n.EjectFlit(0, message.Flit{Pkt: occupant, Seq: 0})
+
+	fp := pkt(2, message.Response, 1)
+	if n.CanEject(fp) {
+		t.Fatal("full queue must reject the FastPass packet")
+	}
+	if !n.TryReserve(fp) {
+		t.Fatal("free reservation refused")
+	}
+	if !n.HasReservation(fp) {
+		t.Fatal("reservation missing")
+	}
+	if !n.TryReserve(fp) { // idempotent for the holder
+		t.Fatal("holder lost its reservation")
+	}
+	if n.Reservations(message.Response) != 1 {
+		t.Fatalf("duplicate reservation recorded")
+	}
+
+	// Queue frees up: the slot belongs to fp, not to others.
+	n.Consumer = ImmediateConsumer
+	n.Tick(1)
+	other := pkt(3, message.Response, 1)
+	if n.CanEject(other) {
+		t.Fatal("freed slot must be held for the reserved packet")
+	}
+	if !n.CanEject(fp) {
+		t.Fatal("reserved packet must be admitted")
+	}
+	n.EjectFast(2, fp)
+	if n.HasReservation(fp) {
+		t.Error("reservation should clear on ejection")
+	}
+	if fp.EjectTime != 2 {
+		t.Errorf("EjectTime = %d", fp.EjectTime)
+	}
+}
+
+func TestSingleReservationPerQueue(t *testing.T) {
+	n := New(0, 2)
+	a, b := pkt(1, message.Response, 1), pkt(2, message.Response, 1)
+	if !n.TryReserve(a) {
+		t.Fatal("first reservation refused")
+	}
+	if n.TryReserve(b) {
+		t.Fatal("second reservation granted while the first is live")
+	}
+	// One free slot: only the holder may use it.
+	occupant := pkt(3, message.Response, 1)
+	n.BeginEject(occupant)
+	n.EjectFlit(0, message.Flit{Pkt: occupant, Seq: 0})
+	if !n.CanEject(a) {
+		t.Error("holder should fit in the single free slot")
+	}
+	if n.CanEject(b) || n.CanEject(pkt(4, message.Response, 1)) {
+		t.Error("non-holders must leave the reserved slot untouched")
+	}
+	// Once the holder lands, the reservation frees for the next packet.
+	n.EjectFast(1, a)
+	if !n.TryReserve(b) {
+		t.Error("reservation should free after the holder ejects")
+	}
+}
+
+func TestReservationsAreParClass(t *testing.T) {
+	n := New(0, 1)
+	fp := pkt(1, message.Response, 1)
+	n.TryReserve(fp)
+	// A different class is unaffected.
+	if !n.CanEject(pkt(2, message.Request, 1)) {
+		t.Fatal("reservation must not leak across classes")
+	}
+}
+
+func TestEjectFlitPanicsOnInterleave(t *testing.T) {
+	n := New(0, 4)
+	a, b := pkt(1, message.Response, 2), pkt(2, message.Response, 2)
+	n.BeginEject(a)
+	n.BeginEject(b)
+	n.EjectFlit(0, message.Flit{Pkt: a, Seq: 0})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	n.EjectFlit(0, message.Flit{Pkt: b, Seq: 0})
+}
+
+func TestCancelEjectClearsAssembly(t *testing.T) {
+	n := New(0, 4)
+	a := pkt(1, message.Response, 3)
+	n.BeginEject(a)
+	n.EjectFlit(0, message.Flit{Pkt: a, Seq: 0})
+	n.CancelEject(a)
+	// A new packet can start assembling.
+	b := pkt(2, message.Response, 1)
+	n.BeginEject(b)
+	n.EjectFlit(1, message.Flit{Pkt: b, Seq: 0})
+	if n.EjectDepth(message.Response) != 1 {
+		t.Fatal("fresh assembly after cancel failed")
+	}
+}
+
+func TestPeekEject(t *testing.T) {
+	n := New(0, 4)
+	if n.PeekEject(message.Request) != nil {
+		t.Fatal("empty peek should be nil")
+	}
+	p := pkt(1, message.Request, 1)
+	n.Consumer = ConsumeFunc(func(int64, *message.Packet) bool { return false })
+	n.BeginEject(p)
+	n.EjectFlit(0, message.Flit{Pkt: p, Seq: 0})
+	if n.PeekEject(message.Request) != p {
+		t.Fatal("peek should return head")
+	}
+}

@@ -1,0 +1,390 @@
+// Package protocol implements a transaction-level cache-coherence
+// engine standing in for gem5's Ruby + MOESI Hammer. It reproduces the
+// network-visible structure of coherence traffic — six message classes
+// with real dependencies between them, finite MSHRs at the cores and
+// TBEs at the homes, and consumers that stall when those resources are
+// exhausted — which is exactly the structure that makes protocol-level
+// deadlock possible when virtual networks are removed.
+//
+// Transaction flows (classes in parentheses):
+//
+//	miss:      Request(1♭) → home → Response(5♭) → Unblock(1♭)
+//	forwarded: Request(1♭) → home → Forward(1♭) → owner → Response(5♭) → Unblock(1♭)
+//	inval:     Request(1♭) → home → Invalidate(1♭)×k → sharers → Response(1♭ ack)…
+//	           plus home data Response(5♭) → Unblock(1♭)
+//	writeback: WriteBack(5♭) → home → Response(1♭ ack)
+//
+// ♭ = flits. Response and Unblock are sink classes: their consumption
+// never blocks, which is what Lemma 3 relies on.
+package protocol
+
+import (
+	"math/rand"
+
+	"repro/internal/message"
+	"repro/internal/nic"
+)
+
+// Profile parameterises the traffic a workload produces. The named
+// application profiles live in internal/workload.
+type Profile struct {
+	// IssueRate is the probability per core per cycle of issuing a new
+	// transaction (subject to a free MSHR).
+	IssueRate float64
+	// FwdFraction of read transactions are three-hop (owner forwards).
+	FwdFraction float64
+	// InvFraction of transactions invalidate sharers.
+	InvFraction float64
+	// MaxSharers bounds invalidation fan-out.
+	MaxSharers int
+	// WBFraction of transactions are writebacks.
+	WBFraction float64
+	// HomeLatency is the directory/LLC processing delay in cycles.
+	HomeLatency int64
+	// Locality skews home selection toward near nodes: 0 = uniform,
+	// 1 = always the nearest other node.
+	Locality float64
+	// Burst is the mean transaction clump size: cores issue work in
+	// bursts (a cache-line walk, a barrier) rather than a smooth
+	// Bernoulli stream. 0/1 = no bursts. The aggregate issue rate stays
+	// IssueRate.
+	Burst int
+	// HotFraction of non-local transactions target one of HotHomes
+	// pseudo-randomly chosen hot home nodes (shared data structures),
+	// creating the transient congestion trees real coherence traffic
+	// exhibits. HotHomes defaults to 3.
+	HotFraction float64
+	HotHomes    int
+	// MSHRs per core and TBEs per home bound outstanding transactions.
+	MSHRs, TBEs int
+}
+
+// SetDefaults fills zero fields with sane values.
+func (p *Profile) SetDefaults() {
+	if p.MSHRs == 0 {
+		p.MSHRs = 16
+	}
+	if p.TBEs == 0 {
+		p.TBEs = 16
+	}
+	if p.HomeLatency == 0 {
+		p.HomeLatency = 8
+	}
+	if p.MaxSharers == 0 {
+		p.MaxSharers = 4
+	}
+	if p.Burst == 0 {
+		p.Burst = 1
+	}
+	if p.HotHomes == 0 {
+		p.HotHomes = 3
+	}
+}
+
+// Backend is the network as the engine sees it: per-node NICs.
+type Backend interface {
+	NIC(node int) *nic.NIC
+	Nodes() int
+	Cycle() int64
+}
+
+// txn tracks an outstanding transaction at its issuing core.
+type txn struct {
+	id       uint64
+	core     int
+	home     int
+	acksLeft int
+	dataSeen bool
+}
+
+// homeEntry tracks a transaction being serviced by a home node (a TBE).
+type homeEntry struct {
+	txnID uint64
+	core  int
+}
+
+// delayed is a packet scheduled for emission after a processing delay.
+type delayed struct {
+	pkt *message.Packet
+	at  int64
+}
+
+// Engine drives protocol traffic over a Backend.
+type Engine struct {
+	be      Backend
+	profile Profile
+	rng     *rand.Rand
+
+	nextPktID uint64
+	nextTxnID uint64
+
+	coreMSHRs []map[uint64]*txn
+	homeTBEs  []map[uint64]*homeEntry
+	emitQ     []delayed
+
+	// Issued and Completed count transactions; the execution-time
+	// experiments run until Completed reaches a work quota.
+	Issued, Completed int64
+
+	// Stalled counts consumer refusals (protocol backpressure events).
+	Stalled int64
+}
+
+// New wires an engine to a backend: it installs itself as every NIC's
+// consumer.
+func New(be Backend, profile Profile, seed int64) *Engine {
+	profile.SetDefaults()
+	e := &Engine{
+		be:        be,
+		profile:   profile,
+		rng:       rand.New(rand.NewSource(seed)),
+		coreMSHRs: make([]map[uint64]*txn, be.Nodes()),
+		homeTBEs:  make([]map[uint64]*homeEntry, be.Nodes()),
+	}
+	for i := 0; i < be.Nodes(); i++ {
+		e.coreMSHRs[i] = make(map[uint64]*txn)
+		e.homeTBEs[i] = make(map[uint64]*homeEntry)
+		node := i
+		be.NIC(i).Consumer = nic.ConsumeFunc(func(cycle int64, pkt *message.Packet) bool {
+			return e.consume(node, cycle, pkt)
+		})
+	}
+	return e
+}
+
+// OutstandingTxns reports live transactions (diagnostics).
+func (e *Engine) OutstandingTxns() int {
+	t := 0
+	for _, m := range e.coreMSHRs {
+		t += len(m)
+	}
+	return t
+}
+
+// newPacket allocates a protocol packet.
+func (e *Engine) newPacket(src, dst int, cl message.Class, flits int, txnID uint64) *message.Packet {
+	e.nextPktID++
+	p := message.NewPacket(e.nextPktID, src, dst, cl, flits, e.be.Cycle())
+	p.TxnID = txnID
+	return p
+}
+
+// pickHome selects a home node for a new transaction, skewed by
+// locality and by the hot-home set.
+func (e *Engine) pickHome(core int) int {
+	n := e.be.Nodes()
+	if e.rng.Float64() < e.profile.Locality {
+		// Nearest neighbour by node ID ring (cheap locality proxy).
+		if core+1 < n {
+			return core + 1
+		}
+		return core - 1
+	}
+	if e.profile.HotFraction > 0 && e.rng.Float64() < e.profile.HotFraction {
+		// Hot homes sit at fixed pseudo-random positions; skip the
+		// issuing core itself.
+		h := (7 + 13*e.rng.Intn(e.profile.HotHomes)) % n
+		if h != core {
+			return h
+		}
+	}
+	h := e.rng.Intn(n - 1)
+	if h >= core {
+		h++
+	}
+	return h
+}
+
+// Tick issues new transactions and emits delayed responses. Call once
+// per cycle before the network steps.
+func (e *Engine) Tick(cycle int64) {
+	// Emit matured packets.
+	keep := e.emitQ[:0]
+	for _, d := range e.emitQ {
+		if d.at > cycle {
+			keep = append(keep, d)
+			continue
+		}
+		e.be.NIC(d.pkt.Src).EnqueueSource(d.pkt)
+	}
+	e.emitQ = keep
+	// Issue new work in bursts: each trigger issues up to Burst
+	// transactions, with the trigger probability scaled so the mean
+	// offered rate stays IssueRate.
+	for core := 0; core < e.be.Nodes(); core++ {
+		if e.rng.Float64() >= e.profile.IssueRate/float64(e.profile.Burst) {
+			continue
+		}
+		for k := 0; k < e.profile.Burst; k++ {
+			if len(e.coreMSHRs[core]) >= e.profile.MSHRs {
+				break
+			}
+			e.issue(core)
+		}
+	}
+}
+
+// issue starts one transaction at a core.
+func (e *Engine) issue(core int) {
+	e.nextTxnID++
+	home := e.pickHome(core)
+	t := &txn{id: e.nextTxnID, core: core, home: home}
+	e.coreMSHRs[core][t.id] = t
+	e.Issued++
+	if e.rng.Float64() < e.profile.WBFraction {
+		// Writeback: data out, ack back.
+		t.acksLeft = 1
+		t.dataSeen = true // no data expected back
+		e.be.NIC(core).EnqueueSource(e.newPacket(core, home, message.WriteBack, 5, t.id))
+		return
+	}
+	t.acksLeft = 0
+	e.be.NIC(core).EnqueueSource(e.newPacket(core, home, message.Request, 1, t.id))
+}
+
+// emitAfter schedules a packet after the home processing delay.
+func (e *Engine) emitAfter(pkt *message.Packet, delay int64) {
+	e.emitQ = append(e.emitQ, delayed{pkt: pkt, at: e.be.Cycle() + delay})
+}
+
+// consume is the NIC consumer: node received pkt from the network.
+func (e *Engine) consume(node int, cycle int64, pkt *message.Packet) bool {
+	switch pkt.Class {
+	case message.Request:
+		return e.homeRequest(node, pkt)
+	case message.WriteBack:
+		return e.homeWriteback(node, pkt)
+	case message.Forward:
+		// Owner: always consumable; sends data to the requester after a
+		// cache access delay. The requester core ID rides in TxnID's
+		// MSHR table via the home TBE — the forward carries it in Dst
+		// semantics: we look it up from the TBE at consume time.
+		e.ownerForward(node, pkt)
+		return true
+	case message.Invalidate:
+		// Sharer: ack to the requester.
+		e.sharerInvalidate(node, pkt)
+		return true
+	case message.Response:
+		e.coreResponse(node, pkt)
+		return true
+	case message.Unblock:
+		e.homeUnblock(node, pkt)
+		return true
+	default:
+		panic("protocol: unknown class")
+	}
+}
+
+// homeRequest services a Request at the home: allocate a TBE or stall.
+func (e *Engine) homeRequest(home int, pkt *message.Packet) bool {
+	if len(e.homeTBEs[home]) >= e.profile.TBEs {
+		e.Stalled++
+		return false
+	}
+	requester := pkt.Src
+	e.homeTBEs[home][pkt.TxnID] = &homeEntry{txnID: pkt.TxnID, core: requester}
+	t := e.coreMSHRs[requester][pkt.TxnID]
+	if t == nil {
+		panic("protocol: request for unknown transaction")
+	}
+	roll := e.rng.Float64()
+	switch {
+	case roll < e.profile.FwdFraction:
+		// Three-hop: forward to a pseudo-owner.
+		owner := e.pickOwner(home, requester)
+		t.acksLeft = 0
+		e.emitAfter(e.newPacket(home, owner, message.Forward, 1, pkt.TxnID), e.profile.HomeLatency)
+	case roll < e.profile.FwdFraction+e.profile.InvFraction:
+		// Invalidate k sharers; they ack the requester directly. Data
+		// still comes from home.
+		k := 1 + e.rng.Intn(e.profile.MaxSharers)
+		t.acksLeft = k
+		for i := 0; i < k; i++ {
+			sharer := e.pickOwner(home, requester)
+			e.emitAfter(e.newPacket(home, sharer, message.Invalidate, 1, pkt.TxnID), e.profile.HomeLatency)
+		}
+		e.emitAfter(e.newPacket(home, requester, message.Response, 5, pkt.TxnID), e.profile.HomeLatency)
+	default:
+		// Two-hop data response.
+		t.acksLeft = 0
+		e.emitAfter(e.newPacket(home, requester, message.Response, 5, pkt.TxnID), e.profile.HomeLatency)
+	}
+	return true
+}
+
+// homeWriteback services a WriteBack: ack the writer.
+func (e *Engine) homeWriteback(home int, pkt *message.Packet) bool {
+	if len(e.homeTBEs[home]) >= e.profile.TBEs {
+		e.Stalled++
+		return false
+	}
+	e.homeTBEs[home][pkt.TxnID] = &homeEntry{txnID: pkt.TxnID, core: pkt.Src}
+	e.emitAfter(e.newPacket(home, pkt.Src, message.Response, 1, pkt.TxnID), e.profile.HomeLatency)
+	return true
+}
+
+// pickOwner selects a pseudo owner/sharer distinct from home and
+// requester where possible.
+func (e *Engine) pickOwner(home, requester int) int {
+	n := e.be.Nodes()
+	if n <= 2 {
+		return (home + 1) % n
+	}
+	for {
+		o := e.rng.Intn(n)
+		if o != home && o != requester {
+			return o
+		}
+	}
+}
+
+// ownerForward: the owner sends data to the requester recorded in the
+// home's TBE.
+func (e *Engine) ownerForward(owner int, pkt *message.Packet) {
+	// The forward carries TxnID; find the requester from any core MSHR.
+	// Homes embed the requester in the TBE, but the owner knows it from
+	// the message in real Hammer; we recover it via the MSHR table.
+	for core := range e.coreMSHRs {
+		if t, ok := e.coreMSHRs[core][pkt.TxnID]; ok {
+			e.emitAfter(e.newPacket(owner, t.core, message.Response, 5, pkt.TxnID), 2)
+			return
+		}
+	}
+	// Transaction already completed (stale forward): drop silently.
+}
+
+// sharerInvalidate: ack the requester with a control response.
+func (e *Engine) sharerInvalidate(sharer int, pkt *message.Packet) {
+	for core := range e.coreMSHRs {
+		if t, ok := e.coreMSHRs[core][pkt.TxnID]; ok {
+			e.emitAfter(e.newPacket(sharer, t.core, message.Response, 1, pkt.TxnID), 2)
+			return
+		}
+	}
+}
+
+// coreResponse: data or ack arrived at the requesting core.
+func (e *Engine) coreResponse(core int, pkt *message.Packet) {
+	t, ok := e.coreMSHRs[core][pkt.TxnID]
+	if !ok {
+		return // stale ack after completion
+	}
+	if pkt.Len == 5 || t.dataSeen {
+		t.dataSeen = true
+	}
+	if pkt.Len == 1 && t.acksLeft > 0 {
+		t.acksLeft--
+	}
+	if t.dataSeen && t.acksLeft == 0 {
+		// Complete: unblock the home and free the MSHR.
+		delete(e.coreMSHRs[core], t.id)
+		e.Completed++
+		e.be.NIC(core).EnqueueSource(e.newPacket(core, t.home, message.Unblock, 1, t.id))
+	}
+}
+
+// homeUnblock: transaction closed; free the TBE.
+func (e *Engine) homeUnblock(home int, pkt *message.Packet) {
+	delete(e.homeTBEs[home], pkt.TxnID)
+}

@@ -1,0 +1,135 @@
+package protocol
+
+import (
+	"testing"
+
+	"repro/internal/baselines/escapevc"
+	"repro/internal/message"
+	"repro/internal/network"
+	"repro/internal/topology"
+)
+
+func run(t *testing.T, profile Profile, cycles int) (*Engine, *network.Network) {
+	t.Helper()
+	n := escapevc.New(topology.NewMesh(4, 4), 2, 4, 1)
+	e := New(n, profile, 7)
+	for c := 0; c < cycles; c++ {
+		e.Tick(n.Cycle())
+		n.Step()
+	}
+	return e, n
+}
+
+func TestTransactionsComplete(t *testing.T) {
+	e, _ := run(t, Profile{IssueRate: 0.02}, 20000)
+	if e.Issued == 0 {
+		t.Fatal("no transactions issued")
+	}
+	if e.Completed == 0 {
+		t.Fatal("no transactions completed")
+	}
+	// With a long tail of in-flight work allowed, most must finish.
+	if float64(e.Completed) < 0.8*float64(e.Issued) {
+		t.Errorf("completed %d of %d issued", e.Completed, e.Issued)
+	}
+}
+
+func TestAllFlowsExercised(t *testing.T) {
+	e, _ := run(t, Profile{
+		IssueRate: 0.05, FwdFraction: 0.3, InvFraction: 0.3, WBFraction: 0.2,
+	}, 30000)
+	if e.Completed < 100 {
+		t.Fatalf("only %d transactions completed", e.Completed)
+	}
+}
+
+func TestMSHRBound(t *testing.T) {
+	// Issue rate 1.0 with tiny MSHRs: outstanding work must stay
+	// bounded.
+	n := escapevc.New(topology.NewMesh(4, 4), 2, 4, 1)
+	e := New(n, Profile{IssueRate: 1.0, MSHRs: 4}, 7)
+	for c := 0; c < 5000; c++ {
+		e.Tick(n.Cycle())
+		n.Step()
+		if e.OutstandingTxns() > 4*16 {
+			t.Fatalf("outstanding %d exceeds MSHR bound", e.OutstandingTxns())
+		}
+	}
+	if e.Completed == 0 {
+		t.Fatal("no progress under full MSHR pressure")
+	}
+}
+
+func TestTBEStallsGenerateBackpressure(t *testing.T) {
+	e, _ := run(t, Profile{IssueRate: 0.5, TBEs: 2, MSHRs: 16}, 10000)
+	if e.Stalled == 0 {
+		t.Error("tiny TBE pool should stall request consumption")
+	}
+	if e.Completed == 0 {
+		t.Fatal("no progress despite stalls")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	f := func() (int64, int64) {
+		n := escapevc.New(topology.NewMesh(4, 4), 2, 4, 1)
+		e := New(n, Profile{IssueRate: 0.1, FwdFraction: 0.2, InvFraction: 0.2, WBFraction: 0.1}, 7)
+		for c := 0; c < 5000; c++ {
+			e.Tick(n.Cycle())
+			n.Step()
+		}
+		return e.Issued, e.Completed
+	}
+	i1, c1 := f()
+	i2, c2 := f()
+	if i1 != i2 || c1 != c2 {
+		t.Fatalf("non-deterministic: (%d,%d) vs (%d,%d)", i1, c1, i2, c2)
+	}
+}
+
+func TestClassMixOnWire(t *testing.T) {
+	n := escapevc.New(topology.NewMesh(4, 4), 2, 4, 1)
+	e := New(n, Profile{IssueRate: 0.1, FwdFraction: 0.3, InvFraction: 0.3, WBFraction: 0.15}, 7)
+	seen := map[message.Class]int{}
+	for _, nc := range n.NICs {
+		nc.OnEject = func(p *message.Packet) { seen[p.Class]++ }
+	}
+	for c := 0; c < 30000; c++ {
+		e.Tick(n.Cycle())
+		n.Step()
+	}
+	for cl := message.Class(0); cl < message.NumClasses; cl++ {
+		if seen[cl] == 0 {
+			t.Errorf("class %v never crossed the network", cl)
+		}
+	}
+}
+
+func TestLocalityShortensPaths(t *testing.T) {
+	hops := func(loc float64) (sum, cnt int64) {
+		n := escapevc.New(topology.NewMesh(4, 4), 2, 4, 1)
+		e := New(n, Profile{IssueRate: 0.05, Locality: loc}, 7)
+		for _, nc := range n.NICs {
+			nc.OnEject = func(p *message.Packet) {
+				if p.Class == message.Request {
+					sum += int64(n.Mesh.Distance(p.Src, p.Dst))
+					cnt++
+				}
+			}
+		}
+		for c := 0; c < 10000; c++ {
+			e.Tick(n.Cycle())
+			n.Step()
+		}
+		return sum, cnt
+	}
+	s0, c0 := hops(0)
+	s1, c1 := hops(0.9)
+	if c0 == 0 || c1 == 0 {
+		t.Fatal("no requests delivered")
+	}
+	if float64(s1)/float64(c1) >= float64(s0)/float64(c0) {
+		t.Errorf("locality should shorten request paths: %v vs %v",
+			float64(s1)/float64(c1), float64(s0)/float64(c0))
+	}
+}

@@ -1,0 +1,41 @@
+package router
+
+// RRArbiter is a round-robin arbiter over n requesters. It grants the
+// first requesting index at or after the pointer, then advances the
+// pointer past the winner, giving every requester bounded waiting — the
+// fairness property the paper's prime-router input scan and the router's
+// VC/switch allocators both rely on.
+type RRArbiter struct {
+	n    int
+	next int
+}
+
+// NewRRArbiter creates an arbiter over n requesters.
+func NewRRArbiter(n int) *RRArbiter {
+	if n < 1 {
+		panic("router: arbiter needs at least one requester")
+	}
+	return &RRArbiter{n: n}
+}
+
+// Grant returns the winning index among the requesters for which
+// request(i) is true, or -1 when none request. The pointer only advances
+// when a grant is issued.
+func (a *RRArbiter) Grant(request func(i int) bool) int {
+	for k := 0; k < a.n; k++ {
+		i := (a.next + k) % a.n
+		if request(i) {
+			a.next = (i + 1) % a.n
+			return i
+		}
+	}
+	return -1
+}
+
+// GrantSlice is Grant over a boolean slice (len must equal n).
+func (a *RRArbiter) GrantSlice(reqs []bool) int {
+	if len(reqs) != a.n {
+		panic("router: request slice length mismatch")
+	}
+	return a.Grant(func(i int) bool { return reqs[i] })
+}

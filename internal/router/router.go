@@ -1,0 +1,603 @@
+package router
+
+import (
+	"fmt"
+
+	"repro/internal/message"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// Env is the router's window onto the rest of the network. The network
+// package implements it; tests provide lightweight fakes.
+type Env interface {
+	// Cycle is the current simulation cycle.
+	Cycle() int64
+	// LinkClaimed reports whether a bypass controller (FastPass lane or
+	// returning path) owns the directed link this cycle; switch
+	// allocation must not drive a regular flit onto a claimed link.
+	// This models the lookahead signal: in hardware the claim arrives
+	// one cycle early and pre-sets the muxes (§III-C5).
+	LinkClaimed(linkID int) bool
+	// EjectClaimed reports whether a FastPass packet owns the node's
+	// ejection port this cycle (Qn 3: FastPass preempts ongoing
+	// ejections).
+	EjectClaimed(node int) bool
+	// SendFlit drives a flit onto a directed link, tagged with the
+	// downstream VC it was allocated.
+	SendFlit(linkID int, f message.Flit, outVC int)
+	// SendVCFree signals up the given in-bound link that input VC vc of
+	// this router is free again (its tail departed or its packet was
+	// promoted/removed).
+	SendVCFree(linkID int, vc int)
+	// CanEject reports whether the node's NIC can accept a packet of
+	// pkt's class, honouring FastPass reservations.
+	CanEject(node int, pkt *message.Packet) bool
+	// BeginEject reserves NIC space for a packet about to stream out of
+	// the Local port; CancelEject releases it (forced removal of an
+	// ejection-allocated packet).
+	BeginEject(node int, pkt *message.Packet)
+	CancelEject(node int, pkt *message.Packet)
+	// EjectFlit delivers one flit of an ejecting packet to the NIC.
+	EjectFlit(node int, f message.Flit)
+}
+
+// Config carries the per-scheme router parameters (Table II).
+type Config struct {
+	// NumVNs is the number of virtual networks (6 for VN-based
+	// baselines, 1 for FastPass and Pitstop which need none — their
+	// single "VN" is just the shared buffer pool).
+	NumVNs int
+	// VCsPerVN is the number of virtual channels per VN per input port.
+	VCsPerVN int
+	// BufFlits is the depth of each network VC in flits (5 in the
+	// paper; also the maximum packet length).
+	BufFlits int
+	// InjQueueFlits is the capacity of each per-class injection queue.
+	InjQueueFlits int
+	// VCAlgorithms assigns a routing algorithm to each VC index within
+	// a VN; index 0 may be an escape channel (EscapeVC) while higher
+	// indices are adaptive.
+	VCAlgorithms []routing.Algorithm
+	// ClassVN maps a message class to its VN.
+	ClassVN func(message.Class) int
+}
+
+// Validate checks internal consistency.
+func (c Config) Validate() error {
+	if c.NumVNs < 1 || c.VCsPerVN < 1 {
+		return fmt.Errorf("router: need at least 1 VN and 1 VC, have %d/%d", c.NumVNs, c.VCsPerVN)
+	}
+	if len(c.VCAlgorithms) != c.VCsPerVN {
+		return fmt.Errorf("router: %d VC algorithms for %d VCs", len(c.VCAlgorithms), c.VCsPerVN)
+	}
+	if c.BufFlits < 1 || c.InjQueueFlits < 1 {
+		return fmt.Errorf("router: non-positive buffer capacity")
+	}
+	if c.ClassVN == nil {
+		return fmt.Errorf("router: ClassVN is required")
+	}
+	for cl := message.Class(0); cl < message.NumClasses; cl++ {
+		if vn := c.ClassVN(cl); vn < 0 || vn >= c.NumVNs {
+			return fmt.Errorf("router: class %v maps to VN %d outside [0,%d)", cl, vn, c.NumVNs)
+		}
+	}
+	return nil
+}
+
+// NetVCs is the number of virtual channels per network input port.
+func (c Config) NetVCs() int { return c.NumVNs * c.VCsPerVN }
+
+// InputUnit is the buffering for one input port.
+type InputUnit struct {
+	Port topology.Direction
+	VCs  []*VC
+}
+
+// Router is one node's switch. Port 0 (Local) doubles as the injection
+// input (per-class queues, the paper's "Injection Buffer") and the
+// ejection output.
+type Router struct {
+	ID   int
+	Mesh *topology.Mesh
+	Cfg  Config
+	Env  Env
+
+	Inputs []*InputUnit
+
+	// outLinks[port] / inLinks[port] are directed link IDs, -1 where
+	// the mesh edge has no neighbour.
+	outLinks, inLinks []int
+
+	// vcFree tracks downstream VC availability per output port; it is
+	// the credit state of virtual cut-through with one packet per VC: a
+	// downstream VC is either wholly free or owned by one packet.
+	vcFree [][]bool
+
+	// ejecting marks classes with a regular packet mid-ejection.
+	ejecting [message.NumClasses]bool
+
+	vaArb    *RRArbiter   // over (port, vc) head candidates
+	saInArb  []*RRArbiter // stage 1: per input port over VCs
+	saOutArb []*RRArbiter // stage 2: per output port over input ports
+	portTie  *RRArbiter   // adaptive output-port tie-break
+
+	// Preallocated per-cycle scratch (hot path).
+	slots   []vaSlot
+	nominee []int
+	granted []bool
+	isBest  []bool
+	// VA scratch: candidate ports and per-port allowed VC lists.
+	candPorts []topology.Direction
+	candVCs   [][]int
+	bestPorts []topology.Direction
+	routeBuf  []topology.Direction
+	// SA scratch: per-port VC request vectors and the output-stage
+	// request vector (avoids per-cycle closure allocations).
+	saReqs  [][]bool
+	saOutRq []bool
+}
+
+type vaSlot struct {
+	port topology.Direction
+	vc   int
+}
+
+// New wires a router for node id. Link IDs come from the mesh topology.
+func New(id int, mesh *topology.Mesh, cfg Config, env Env) *Router {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	nPorts := mesh.NumPorts()
+	r := &Router{
+		ID:       id,
+		Mesh:     mesh,
+		Cfg:      cfg,
+		Env:      env,
+		outLinks: make([]int, nPorts),
+		inLinks:  make([]int, nPorts),
+	}
+	for p := 0; p < nPorts; p++ {
+		r.outLinks[p] = -1
+		r.inLinks[p] = -1
+	}
+	for _, l := range mesh.Links() {
+		if l.Src == id {
+			r.outLinks[l.SrcPort] = l.ID
+		}
+		if l.Dst == id {
+			r.inLinks[l.DstPort] = l.ID
+		}
+	}
+	r.Inputs = make([]*InputUnit, nPorts)
+	for p := 0; p < nPorts; p++ {
+		iu := &InputUnit{Port: topology.Direction(p)}
+		if p == int(topology.Local) {
+			// Injection: one queue per message class.
+			for c := 0; c < int(message.NumClasses); c++ {
+				iu.VCs = append(iu.VCs, NewVC(cfg.InjQueueFlits, cfg.InjQueueFlits))
+			}
+		} else {
+			for v := 0; v < cfg.NetVCs(); v++ {
+				iu.VCs = append(iu.VCs, NewVC(cfg.BufFlits, 1))
+			}
+		}
+		r.Inputs[p] = iu
+	}
+	r.vcFree = make([][]bool, nPorts)
+	for p := 1; p < nPorts; p++ {
+		r.vcFree[p] = make([]bool, cfg.NetVCs())
+		for v := range r.vcFree[p] {
+			r.vcFree[p][v] = true
+		}
+	}
+	for p, iu := range r.Inputs {
+		for v := range iu.VCs {
+			r.slots = append(r.slots, vaSlot{topology.Direction(p), v})
+		}
+	}
+	r.vaArb = NewRRArbiter(len(r.slots))
+	r.nominee = make([]int, nPorts)
+	r.granted = make([]bool, nPorts)
+	r.isBest = make([]bool, nPorts)
+	r.candPorts = make([]topology.Direction, 0, nPorts)
+	r.candVCs = make([][]int, nPorts)
+	for p := range r.candVCs {
+		r.candVCs[p] = make([]int, 0, cfg.NetVCs())
+	}
+	r.bestPorts = make([]topology.Direction, 0, nPorts)
+	r.routeBuf = make([]topology.Direction, 0, 2)
+	r.saReqs = make([][]bool, nPorts)
+	for p := 0; p < nPorts; p++ {
+		r.saReqs[p] = make([]bool, len(r.Inputs[p].VCs))
+	}
+	r.saOutRq = make([]bool, nPorts)
+	r.saInArb = make([]*RRArbiter, nPorts)
+	r.saOutArb = make([]*RRArbiter, nPorts)
+	for p := 0; p < nPorts; p++ {
+		r.saInArb[p] = NewRRArbiter(len(r.Inputs[p].VCs))
+		r.saOutArb[p] = NewRRArbiter(nPorts)
+	}
+	r.portTie = NewRRArbiter(nPorts)
+	return r
+}
+
+// OutLinkID returns the directed link leaving through port, or -1.
+func (r *Router) OutLinkID(port topology.Direction) int { return r.outLinks[port] }
+
+// InLinkID returns the directed link arriving on port, or -1.
+func (r *Router) InLinkID(port topology.Direction) int { return r.inLinks[port] }
+
+// VCFor returns the buffer at (port, vc).
+func (r *Router) VCFor(port topology.Direction, vc int) *VC { return r.Inputs[port].VCs[vc] }
+
+// DownstreamVCFree reports the credit state for (outPort, outVC).
+func (r *Router) DownstreamVCFree(port topology.Direction, vc int) bool {
+	return r.vcFree[port][vc]
+}
+
+// MarkVCFree records an arriving credit: the downstream VC behind
+// outPort is free again.
+func (r *Router) MarkVCFree(port topology.Direction, vc int) { r.vcFree[port][vc] = true }
+
+// DeliverHead accepts a head flit arriving on a network input port.
+func (r *Router) DeliverHead(port topology.Direction, vc int, pkt *message.Packet) {
+	r.Inputs[port].VCs[vc].AcceptHead(pkt, r.Env.Cycle())
+}
+
+// DeliverBody accepts a body/tail flit arriving on a network input port.
+func (r *Router) DeliverBody(port topology.Direction, vc int, pkt *message.Packet) {
+	r.Inputs[port].VCs[vc].AcceptBody(pkt, r.Env.Cycle())
+}
+
+// InjectPacket enqueues a freshly created packet into the node's
+// injection queue for its class. It reports false when the queue lacks
+// space (the NIC then retries next cycle).
+func (r *Router) InjectPacket(pkt *message.Packet) bool {
+	q := r.Inputs[topology.Local].VCs[pkt.Class]
+	if !q.CanAccept(pkt.Len) {
+		return false
+	}
+	q.EnqueueWhole(pkt, r.Env.Cycle())
+	return true
+}
+
+// InjectionFree reports the free flit capacity of the class's injection
+// queue.
+func (r *Router) InjectionFree(c message.Class) int {
+	return r.Inputs[topology.Local].VCs[c].FreeFlits()
+}
+
+// vnOf returns the VN of a packet under this router's config.
+func (r *Router) vnOf(pkt *message.Packet) int { return r.Cfg.ClassVN(pkt.Class) }
+
+// allowedPorts fills the router's VA scratch with, for a head packet,
+// the candidate output ports and for each the usable VC indices
+// (global), honouring per-VC routing algorithms. Local (ejection) is
+// handled separately. The returned slices alias router scratch and are
+// valid until the next call.
+func (r *Router) allowedPorts(pkt *message.Packet) []topology.Direction {
+	vn := r.vnOf(pkt)
+	r.candPorts = r.candPorts[:0]
+	for p := range r.candVCs {
+		r.candVCs[p] = r.candVCs[p][:0]
+	}
+	for vcIdx, alg := range r.Cfg.VCAlgorithms {
+		f := routing.ForAlgorithm(alg)
+		for _, p := range f(r.Mesh, r.routeBuf[:0], r.ID, pkt.Dst) {
+			if r.outLinks[p] < 0 {
+				continue
+			}
+			gvc := vn*r.Cfg.VCsPerVN + vcIdx
+			if len(r.candVCs[p]) == 0 {
+				r.candPorts = append(r.candPorts, p)
+			}
+			r.candVCs[p] = append(r.candVCs[p], gvc)
+		}
+	}
+	return r.candPorts
+}
+
+// Step runs one cycle of the router: VC allocation for fresh heads,
+// then switch allocation and flit transmission.
+func (r *Router) Step() {
+	r.allocateVCs()
+	r.switchAllocate()
+}
+
+// allocateVCs performs VC allocation for every unallocated head entry,
+// in round-robin order across (port, vc).
+func (r *Router) allocateVCs() {
+	start := r.vaArb.next
+	for k := 0; k < len(r.slots); k++ {
+		s := r.slots[(start+k)%len(r.slots)]
+		e := r.Inputs[s.port].VCs[s.vc].Head()
+		if e == nil || e.Allocated || e.Arrived < 1 {
+			continue
+		}
+		r.tryAllocate(e)
+	}
+	r.vaArb.next = (start + 1) % len(r.slots)
+}
+
+// tryAllocate attempts VC allocation for one head entry.
+func (r *Router) tryAllocate(e *Entry) {
+	pkt := e.Pkt
+	if pkt.Dst == r.ID {
+		// Ejection: one packet per class at a time, NIC space required
+		// (reservations honoured by the Env).
+		if r.ejecting[pkt.Class] || !r.Env.CanEject(r.ID, pkt) {
+			return
+		}
+		r.Env.BeginEject(r.ID, pkt)
+		r.ejecting[pkt.Class] = true
+		e.Allocated = true
+		e.OutPort = topology.Local
+		e.OutVC = int(pkt.Class)
+		return
+	}
+	ports := r.allowedPorts(pkt)
+	// Keep only ports with at least one free allowed VC downstream.
+	bestScore := 0
+	best := r.bestPorts[:0]
+	for _, p := range ports {
+		score := 0
+		for _, gvc := range r.candVCs[p] {
+			if r.vcFree[p][gvc] {
+				score++
+			}
+		}
+		if score == 0 {
+			continue
+		}
+		if score > bestScore {
+			bestScore = score
+			best = best[:0]
+		}
+		if score == bestScore {
+			best = append(best, p)
+		}
+	}
+	if len(best) == 0 {
+		return
+	}
+	// Tie-break with a rotating pointer so symmetric traffic spreads.
+	choice := best[0]
+	if len(best) > 1 {
+		for i := range r.isBest {
+			r.isBest[i] = false
+		}
+		for _, p := range best {
+			r.isBest[p] = true
+		}
+		if g := r.portTie.GrantSlice(r.isBest); g >= 0 {
+			choice = topology.Direction(g)
+		}
+	}
+	// Prefer the highest-index free VC: adaptive channels before the
+	// escape channel, which stays available as the guaranteed drain.
+	vcs := r.candVCs[choice]
+	pick := -1
+	for _, gvc := range vcs {
+		if r.vcFree[choice][gvc] && gvc > pick {
+			pick = gvc
+		}
+	}
+	if pick < 0 {
+		return
+	}
+	r.vcFree[choice][pick] = false
+	e.Allocated = true
+	e.OutPort = choice
+	e.OutVC = pick
+}
+
+// switchAllocate runs the two-stage separable switch allocator and
+// transmits winning flits.
+func (r *Router) switchAllocate() {
+	nPorts := r.Mesh.NumPorts()
+	// Stage 1: each input port nominates one VC with a sendable flit.
+	nominee := r.nominee
+	for p := 0; p < nPorts; p++ {
+		iu := r.Inputs[p]
+		reqs := r.saReqs[p]
+		for v := range iu.VCs {
+			reqs[v] = r.sendable(iu.VCs[v])
+		}
+		nominee[p] = r.saInArb[p].GrantSlice(reqs)
+	}
+	// Stage 2: each output port picks among nominating inputs.
+	granted := r.granted
+	for i := range granted {
+		granted[i] = false
+	}
+	for out := 0; out < nPorts; out++ {
+		rq := r.saOutRq
+		any := false
+		for in := 0; in < nPorts; in++ {
+			rq[in] = false
+			if granted[in] || nominee[in] < 0 {
+				continue
+			}
+			e := r.Inputs[in].VCs[nominee[in]].Head()
+			if int(e.OutPort) == out {
+				rq[in] = true
+				any = true
+			}
+		}
+		if !any {
+			continue
+		}
+		winner := r.saOutArb[out].GrantSlice(rq)
+		if winner < 0 {
+			continue
+		}
+		granted[winner] = true
+		r.transmit(topology.Direction(winner), nominee[winner])
+	}
+}
+
+// sendable reports whether the VC's head entry can move a flit this
+// cycle.
+func (r *Router) sendable(v *VC) bool {
+	e := v.Head()
+	if e == nil || !e.Allocated || e.Sent >= e.Arrived {
+		return false
+	}
+	if e.OutPort == topology.Local {
+		return !r.Env.EjectClaimed(r.ID)
+	}
+	return !r.Env.LinkClaimed(r.outLinks[e.OutPort])
+}
+
+// transmit moves one flit of the head packet at (in, vc) through the
+// crossbar.
+func (r *Router) transmit(in topology.Direction, vc int) {
+	cycle := r.Env.Cycle()
+	buf := r.Inputs[in].VCs[vc]
+	e := buf.Head()
+	pkt := e.Pkt
+	out := e.OutPort
+	isHead := e.Sent == 0
+	flit, done := buf.SendFlit(cycle)
+	if isHead && in == topology.Local && pkt.InjectTime < 0 {
+		pkt.InjectTime = cycle
+	}
+	if out == topology.Local {
+		r.Env.EjectFlit(r.ID, flit)
+		if done {
+			r.ejecting[pkt.Class] = false
+		}
+	} else {
+		if isHead {
+			pkt.Hops++
+		}
+		r.Env.SendFlit(r.outLinks[out], flit, e.OutVC)
+	}
+	if done && in != topology.Local && r.inLinks[in] >= 0 {
+		// The tail left this network VC: credit the upstream router.
+		// (Edge ports with no physical in-link can only be populated by
+		// test/controller insertion; there is no upstream to credit.)
+		r.Env.SendVCFree(r.inLinks[in], vc)
+	}
+}
+
+// --- Controller-facing buffer manipulation (forced moves, upgrades) ---
+
+// RemoveHeadPacket atomically extracts the fully-buffered head packet of
+// (port, vc), releasing any downstream VC it had claimed and crediting
+// the upstream router. Used by FastPass upgrades and the forced-move
+// primitives of SPIN/SWAP/DRAIN. Returns nil when the head is missing,
+// streaming, or partially sent.
+func (r *Router) RemoveHeadPacket(port topology.Direction, vc int) *message.Packet {
+	buf := r.Inputs[port].VCs[vc]
+	e := buf.Head()
+	if e == nil || !e.FullyBuffered() {
+		return nil
+	}
+	if e.Allocated {
+		switch {
+		case e.OutPort == topology.Local:
+			r.Env.CancelEject(r.ID, e.Pkt)
+			r.ejecting[e.Pkt.Class] = false
+		default:
+			r.vcFree[e.OutPort][e.OutVC] = true
+		}
+		e.Allocated = false
+	}
+	pkt := buf.RemoveHead()
+	if port != topology.Local && r.inLinks[port] >= 0 {
+		// The paper's prime router "increases the credit for the
+		// upstream router as soon as a FastPass-Packet departs"
+		// (§III-C4); forced moves behave identically.
+		r.Env.SendVCFree(r.inLinks[port], vc)
+	}
+	return pkt
+}
+
+// RemoveHeadPacketNoCredit is RemoveHeadPacket without the upstream
+// VC-free credit. Synchronized forced moves (SWAP exchanges, SPIN spins,
+// DRAIN rotations) refill the freed slot in the same cycle, so from the
+// upstream router's perspective the VC never became free; crediting it
+// would let the upstream allocate the slot and collide with the
+// refill.
+func (r *Router) RemoveHeadPacketNoCredit(port topology.Direction, vc int) *message.Packet {
+	buf := r.Inputs[port].VCs[vc]
+	e := buf.Head()
+	if e == nil || !e.FullyBuffered() {
+		return nil
+	}
+	if e.Allocated {
+		switch {
+		case e.OutPort == topology.Local:
+			r.Env.CancelEject(r.ID, e.Pkt)
+			r.ejecting[e.Pkt.Class] = false
+		default:
+			r.vcFree[e.OutPort][e.OutVC] = true
+		}
+		e.Allocated = false
+	}
+	return buf.RemoveHead()
+}
+
+// CreditUpstream releases the upstream claim on (port, vc) explicitly —
+// the counterpart of RemoveHeadPacketNoCredit for slots a forced move
+// ended up not refilling.
+func (r *Router) CreditUpstream(port topology.Direction, vc int) {
+	if port != topology.Local && r.inLinks[port] >= 0 {
+		r.Env.SendVCFree(r.inLinks[port], vc)
+	}
+}
+
+// ClaimDownstreamVC marks (outPort, outVC) busy in this router's credit
+// state. A controller that force-inserts a packet into the downstream
+// router's input VC must claim it here (this router is that VC's only
+// feeder); the claim clears through the normal credit return when the
+// packet eventually leaves.
+func (r *Router) ClaimDownstreamVC(port topology.Direction, vc int) {
+	r.vcFree[port][vc] = false
+}
+
+// InsertPacket places a whole packet into (port, vc) if space allows.
+// Controllers use it for forced moves; the VC's normal capacity rules
+// apply.
+func (r *Router) InsertPacket(port topology.Direction, vc int, pkt *message.Packet) bool {
+	buf := r.Inputs[port].VCs[vc]
+	if !buf.CanAccept(pkt.Len) {
+		return false
+	}
+	buf.EnqueueWhole(pkt, r.Env.Cycle())
+	return true
+}
+
+// InsertOverflow places a packet into (port, vc) beyond capacity —
+// only FastPass's rejected-packet return path may do this (see
+// VC.EnqueueOverflow).
+func (r *Router) InsertOverflow(port topology.Direction, vc int, pkt *message.Packet) {
+	r.Inputs[port].VCs[vc].EnqueueOverflow(pkt, r.Env.Cycle())
+}
+
+// BlockedFor reports how long the head of (port, vc) has been resident
+// without any flit movement, or -1 when the VC is empty. SPIN's
+// detection threshold and SWAP's duty cycle consume this.
+func (r *Router) BlockedFor(port topology.Direction, vc int) int64 {
+	e := r.Inputs[port].VCs[vc].Head()
+	if e == nil {
+		return -1
+	}
+	return r.Env.Cycle() - e.LastMove
+}
+
+// ResidentPackets returns every packet buffered in this router,
+// front-to-back per VC (diagnostics and conservation checks).
+func (r *Router) ResidentPackets() []*message.Packet {
+	var pkts []*message.Packet
+	for _, iu := range r.Inputs {
+		for _, v := range iu.VCs {
+			for _, e := range v.Entries() {
+				pkts = append(pkts, e.Pkt)
+			}
+		}
+	}
+	return pkts
+}

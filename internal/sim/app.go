@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/protocol"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// AppConfig describes one application run (a Fig. 10 / Fig. 12 bar).
+type AppConfig struct {
+	Options
+	App workload.App
+	// MaxCycles bounds the run; 0 → 400000. A run that hits the bound
+	// before completing the work quota reports Timeout.
+	MaxCycles int64
+}
+
+// AppResult is the outcome of one application run.
+type AppResult struct {
+	Scheme Scheme
+	App    string
+
+	// ExecTime is the cycle at which the work quota completed — the
+	// quantity Fig. 10 normalizes to EscapeVC.
+	ExecTime int64
+	Timeout  bool
+
+	AvgLatency float64
+	P99Latency float64 // Fig. 12
+	Samples    int
+
+	Completed, Issued, Stalled int64
+
+	// Fig. 13(b) extras.
+	RegularFrac, FastFrac, DroppedFrac float64
+}
+
+// RunApp executes one application workload on one scheme.
+func RunApp(cfg AppConfig) AppResult {
+	cfg.Options.setDefaults()
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = 400000
+	}
+	if !cfg.Scheme.SupportsProtocol() {
+		panic(fmt.Sprintf("sim: scheme %v cannot run protocol traffic", cfg.Scheme))
+	}
+	inst := Build(cfg.Options)
+	col := stats.New(cfg.W*cfg.H, 0, cfg.MaxCycles)
+	inst.SetOnEject(col.OnEject)
+	eng := protocol.New(inst.Net, cfg.App.Profile, cfg.Seed+0xa99)
+	quota := cfg.App.WorkQuota
+	res := AppResult{Scheme: cfg.Scheme, App: cfg.App.Name}
+	for inst.Cycle() < cfg.MaxCycles {
+		eng.Tick(inst.Cycle())
+		inst.Step()
+		if eng.Completed >= quota {
+			break
+		}
+	}
+	res.ExecTime = inst.Cycle()
+	res.Timeout = eng.Completed < quota
+	res.AvgLatency = col.MeanLatency()
+	res.P99Latency = col.Percentile(0.99)
+	res.Samples = col.Samples()
+	res.Completed = eng.Completed
+	res.Issued = eng.Issued
+	res.Stalled = eng.Stalled
+	res.RegularFrac, res.FastFrac, res.DroppedFrac = col.Breakdown()
+	return res
+}

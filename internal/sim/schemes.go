@@ -1,0 +1,259 @@
+// Package sim is the experiment harness: it builds any evaluated scheme
+// over the common substrate, runs the warmup → measure → drain
+// methodology on synthetic traffic, bisects saturation throughput, and
+// drives the protocol engine for application experiments. Every figure
+// and table of the paper is regenerated through this package.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/baselines/drain"
+	"repro/internal/baselines/escapevc"
+	"repro/internal/baselines/pitstop"
+	"repro/internal/baselines/spin"
+	"repro/internal/baselines/swap"
+	"repro/internal/baselines/tfc"
+	"repro/internal/fastpass"
+	"repro/internal/message"
+	"repro/internal/minbd"
+	"repro/internal/network"
+	"repro/internal/router"
+	"repro/internal/routing"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// Scheme identifies a flow-control/deadlock-freedom design under test.
+type Scheme int
+
+// The eight evaluated schemes (Table II).
+const (
+	FastPass Scheme = iota
+	EscapeVC
+	SPIN
+	SWAP
+	DRAIN
+	Pitstop
+	MinBD
+	TFC
+	numSchemes
+)
+
+// String returns the scheme name as the paper spells it.
+func (s Scheme) String() string {
+	switch s {
+	case FastPass:
+		return "FastPass"
+	case EscapeVC:
+		return "EscapeVC"
+	case SPIN:
+		return "SPIN"
+	case SWAP:
+		return "SWAP"
+	case DRAIN:
+		return "DRAIN"
+	case Pitstop:
+		return "Pitstop"
+	case MinBD:
+		return "MinBD"
+	case TFC:
+		return "TFC"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Schemes lists every scheme.
+func Schemes() []Scheme {
+	out := make([]Scheme, numSchemes)
+	for i := range out {
+		out[i] = Scheme(i)
+	}
+	return out
+}
+
+// ParseScheme resolves a name.
+func ParseScheme(name string) (Scheme, error) {
+	for _, s := range Schemes() {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("sim: unknown scheme %q", name)
+}
+
+// UsesVNs reports whether the scheme needs virtual networks for
+// protocol-level deadlock freedom (Fig. 10's "(VN=6)" annotations).
+func (s Scheme) UsesVNs() bool {
+	switch s {
+	case FastPass, Pitstop:
+		return false
+	default:
+		return true
+	}
+}
+
+// DefaultVCs is the Table II VC count per input buffer (per VN for the
+// VN-based schemes).
+func (s Scheme) DefaultVCs() int {
+	if s == FastPass {
+		return 4
+	}
+	return 2
+}
+
+// SupportsProtocol reports whether the scheme can run coherence traffic
+// in our harness (MinBD's deflection network carries only synthetic
+// loads, matching its absence from Figs. 10 and 12).
+func (s Scheme) SupportsProtocol() bool { return s != MinBD }
+
+// Options selects and sizes a scheme instance.
+type Options struct {
+	Scheme   Scheme
+	W, H     int
+	VCs      int // 0 → scheme default
+	EjectCap int // 0 → 4
+	Seed     int64
+
+	// Scheme knobs (0 → Table II defaults). Tests shrink DrainPeriod so
+	// runs finish quickly.
+	DrainPeriod   int64
+	SwapDuty      int64
+	SpinThreshold int64
+	FastPassK     int
+
+	// FastPass ablation knobs (see fastpass.Params).
+	FPScanInjectionOnly bool
+	FPDropOnReject      bool
+
+	// TraceCapacity, when positive, attaches an event recorder keeping
+	// that many recent events (Instance.Trace).
+	TraceCapacity int
+}
+
+func (o *Options) setDefaults() {
+	if o.VCs == 0 {
+		o.VCs = o.Scheme.DefaultVCs()
+	}
+	if o.EjectCap == 0 {
+		o.EjectCap = 4
+	}
+	if o.W == 0 {
+		o.W = 8
+	}
+	if o.H == 0 {
+		o.H = o.W
+	}
+}
+
+// Instance is a built scheme ready to simulate. Exactly one of Net and
+// Deflect is non-nil.
+type Instance struct {
+	Opts    Options
+	Mesh    *topology.Mesh
+	Net     *network.Network
+	Deflect *minbd.Network
+
+	// FP is non-nil for FastPass (drop/promotion counters).
+	FP *fastpass.Controller
+
+	// Trace is non-nil when Options.TraceCapacity > 0.
+	Trace *trace.Recorder
+}
+
+// Build constructs a scheme instance.
+func Build(o Options) *Instance {
+	o.setDefaults()
+	mesh := topology.NewMesh(o.W, o.H)
+	inst := &Instance{Opts: o, Mesh: mesh}
+	if o.TraceCapacity > 0 {
+		inst.Trace = trace.New(o.TraceCapacity)
+	}
+	switch o.Scheme {
+	case FastPass:
+		algs := make([]routing.Algorithm, o.VCs)
+		for i := range algs {
+			algs[i] = routing.FullyAdaptive
+		}
+		n := network.New(network.Params{
+			Mesh: mesh,
+			Router: router.Config{
+				NumVNs: 1, VCsPerVN: o.VCs, BufFlits: 5, InjQueueFlits: 10,
+				VCAlgorithms: algs,
+				ClassVN:      func(message.Class) int { return 0 },
+			},
+			EjectCap: o.EjectCap,
+			Seed:     o.Seed,
+		})
+		inst.Net = n
+		inst.FP = fastpass.Attach(n, fastpass.Params{
+			K:                 o.FastPassK,
+			ScanInjectionOnly: o.FPScanInjectionOnly,
+			DropOnReject:      o.FPDropOnReject,
+		})
+		inst.FP.Trace = inst.Trace
+	case EscapeVC:
+		inst.Net = escapevc.New(mesh, o.VCs, o.EjectCap, o.Seed)
+	case SPIN:
+		inst.Net, _ = spin.New(mesh, o.VCs, o.EjectCap, o.Seed, spin.Params{Threshold: o.SpinThreshold})
+	case SWAP:
+		inst.Net, _ = swap.New(mesh, o.VCs, o.EjectCap, o.Seed, swap.Params{Duty: o.SwapDuty})
+	case DRAIN:
+		inst.Net, _ = drain.New(mesh, o.VCs, o.EjectCap, o.Seed, drain.Params{Period: o.DrainPeriod})
+	case Pitstop:
+		inst.Net, _ = pitstop.New(mesh, o.VCs, o.EjectCap, o.Seed, pitstop.Params{})
+	case TFC:
+		inst.Net, _ = tfc.New(mesh, o.VCs, o.EjectCap, o.Seed, tfc.Params{})
+	case MinBD:
+		inst.Deflect = minbd.New(mesh, minbd.Params{EjectCap: o.EjectCap})
+	default:
+		panic("sim: unknown scheme")
+	}
+	return inst
+}
+
+// Step advances one cycle.
+func (i *Instance) Step() {
+	if i.Net != nil {
+		i.Net.Step()
+		return
+	}
+	i.Deflect.Step()
+}
+
+// Cycle reports the current cycle.
+func (i *Instance) Cycle() int64 {
+	if i.Net != nil {
+		return i.Net.Cycle()
+	}
+	return i.Deflect.Cycle()
+}
+
+// Enqueue hands a fresh packet to its source NIC.
+func (i *Instance) Enqueue(pkt *message.Packet) {
+	i.Trace.Record(i.Cycle(), trace.PacketCreated, pkt.ID, pkt.Src, "")
+	if i.Net != nil {
+		i.Net.NICs[pkt.Src].EnqueueSource(pkt)
+		return
+	}
+	i.Deflect.EnqueueSource(pkt)
+}
+
+// SetOnEject installs a delivery observer on every node.
+func (i *Instance) SetOnEject(f func(pkt *message.Packet)) {
+	wrapped := f
+	if i.Trace != nil {
+		wrapped = func(pkt *message.Packet) {
+			i.Trace.Record(pkt.EjectTime, trace.PacketEjected, pkt.ID, pkt.Dst, "")
+			f(pkt)
+		}
+	}
+	if i.Net != nil {
+		for _, nc := range i.Net.NICs {
+			nc.OnEject = wrapped
+		}
+		return
+	}
+	i.Deflect.OnEject = wrapped
+}

@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/traffic"
+	"repro/internal/workload"
+)
+
+func quickCfg(s Scheme, rate float64) SynthConfig {
+	return SynthConfig{
+		Options: Options{
+			Scheme: s, W: 4, H: 4, Seed: 1,
+			DrainPeriod: 4096, SwapDuty: 512,
+		},
+		Pattern: traffic.Uniform,
+		Rate:    rate,
+		Warmup:  1000, Measure: 3000, Drain: 2000,
+	}
+}
+
+func TestSchemeStringsAndParse(t *testing.T) {
+	for _, s := range Schemes() {
+		got, err := ParseScheme(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseScheme(%v) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseScheme("Bogus"); err == nil {
+		t.Error("bogus scheme accepted")
+	}
+}
+
+func TestVNAnnotations(t *testing.T) {
+	if FastPass.UsesVNs() || Pitstop.UsesVNs() {
+		t.Error("FastPass and Pitstop are VN-free")
+	}
+	if !EscapeVC.UsesVNs() || !SPIN.UsesVNs() {
+		t.Error("VN-based baselines mislabelled")
+	}
+	if FastPass.DefaultVCs() != 4 || EscapeVC.DefaultVCs() != 2 {
+		t.Error("Table II VC defaults wrong")
+	}
+}
+
+// Every scheme must deliver low-load uniform traffic with sane latency.
+func TestAllSchemesLowLoad(t *testing.T) {
+	for _, s := range Schemes() {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			t.Parallel()
+			res := RunSynthetic(quickCfg(s, 0.02))
+			if res.Samples == 0 {
+				t.Fatal("no measured deliveries")
+			}
+			if res.Saturated {
+				t.Fatalf("saturated at 0.02 pkts/node/cycle (lat=%v delivered=%v)",
+					res.AvgLatency, res.DeliveredFrac)
+			}
+			if res.AvgLatency < 4 || res.AvgLatency > 60 {
+				t.Errorf("low-load latency %v outside sane band", res.AvgLatency)
+			}
+			if res.DeliveredFrac < 0.98 {
+				t.Errorf("delivered fraction %v at low load", res.DeliveredFrac)
+			}
+		})
+	}
+}
+
+func TestFastPassCountersFlow(t *testing.T) {
+	res := RunSynthetic(quickCfg(FastPass, 0.08))
+	if res.Promoted == 0 {
+		t.Error("no promotions at moderate load")
+	}
+	if res.FastFrac <= 0 {
+		t.Error("no FastPass packets in the breakdown")
+	}
+	r, f, d := res.RegularFrac, res.FastFrac, res.DroppedFrac
+	if math.Abs(r+f+d-1) > 1e-9 {
+		t.Errorf("breakdown fractions sum to %v", r+f+d)
+	}
+	if !math.IsNaN(res.FastSplitFast) && res.FastSplitFast <= 0 {
+		t.Error("FastPass split has no bufferless time")
+	}
+}
+
+func TestSweepStopsAfterSaturation(t *testing.T) {
+	rates := []float64{0.02, 0.3, 0.5, 0.7, 0.9}
+	// TFC on transpose saturates very early; the sweep should stop
+	// simulating and carry the saturated marker forward.
+	base := quickCfg(TFC, 0)
+	base.Pattern = traffic.Transpose
+	out := SweepLatency(base, rates)
+	if len(out) != len(rates) {
+		t.Fatalf("sweep returned %d points", len(out))
+	}
+	if !out[len(out)-1].Saturated {
+		t.Error("final point should be saturated")
+	}
+	for i, r := range rates {
+		if out[i].Rate != r {
+			t.Errorf("point %d has rate %v, want %v", i, out[i].Rate, r)
+		}
+	}
+}
+
+func TestSaturationBisection(t *testing.T) {
+	base := quickCfg(EscapeVC, 0)
+	base.Warmup, base.Measure, base.Drain = 500, 1500, 1500
+	rate, thr := SaturationThroughput(base, 0.01, 0.9, 5)
+	if rate <= 0.01 || rate >= 0.9 {
+		t.Errorf("saturation rate %v should be interior", rate)
+	}
+	if thr <= 0 {
+		t.Errorf("throughput %v at saturation", thr)
+	}
+	// Throughput at the found rate tracks the offered rate.
+	if thr < rate*0.5 {
+		t.Errorf("accepted %v far below offered %v", thr, rate)
+	}
+}
+
+func TestRunAppAcrossSchemes(t *testing.T) {
+	app := workload.MustGet("FFT")
+	app.WorkQuota = 300
+	for _, s := range []Scheme{FastPass, EscapeVC, Pitstop} {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			t.Parallel()
+			res := RunApp(AppConfig{
+				Options:   Options{Scheme: s, W: 4, H: 4, Seed: 3, DrainPeriod: 4096},
+				App:       app,
+				MaxCycles: 300000,
+			})
+			if res.Timeout {
+				t.Fatalf("work quota not completed: %d of %d", res.Completed, app.WorkQuota)
+			}
+			if res.Samples == 0 || math.IsNaN(res.AvgLatency) {
+				t.Fatal("no latency samples")
+			}
+			if res.P99Latency < res.AvgLatency {
+				t.Error("p99 below mean")
+			}
+		})
+	}
+}
+
+func TestRunAppRejectsMinBD(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RunApp(AppConfig{Options: Options{Scheme: MinBD, W: 4, H: 4}, App: workload.MustGet("FFT")})
+}
+
+func TestDeterministicResults(t *testing.T) {
+	a := RunSynthetic(quickCfg(FastPass, 0.05))
+	b := RunSynthetic(quickCfg(FastPass, 0.05))
+	if a.AvgLatency != b.AvgLatency || a.Samples != b.Samples || a.Promoted != b.Promoted {
+		t.Fatalf("non-deterministic synthetic results: %+v vs %+v", a, b)
+	}
+}

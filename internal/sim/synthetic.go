@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"math/rand"
+
+	"repro/internal/stats"
+	"repro/internal/traffic"
+)
+
+// SynthConfig describes one synthetic-traffic run (a single point on a
+// Fig. 7 curve).
+type SynthConfig struct {
+	Options
+	Pattern traffic.Pattern
+	Rate    float64 // packets/node/cycle offered
+
+	// Warmup/Measure/Drain are the methodology windows in cycles
+	// (0 → 2000/5000/3000). Injection runs through all three; latency
+	// samples come from packets created in the measure window.
+	Warmup, Measure, Drain int
+
+	// SatLatency is the average-latency ceiling beyond which the point
+	// counts as saturated (0 → 150 cycles).
+	SatLatency float64
+
+	// HotspotNode / HotspotFraction parameterise the Hotspot pattern
+	// (ignored by other patterns).
+	HotspotNode     int
+	HotspotFraction float64
+}
+
+func (c *SynthConfig) setDefaults() {
+	c.Options.setDefaults()
+	if c.Warmup == 0 {
+		c.Warmup = 2000
+	}
+	if c.Measure == 0 {
+		c.Measure = 5000
+	}
+	if c.Drain == 0 {
+		c.Drain = 3000
+	}
+	if c.SatLatency == 0 {
+		c.SatLatency = 150
+	}
+}
+
+// SynthResult is one measured point.
+type SynthResult struct {
+	Scheme  Scheme
+	Pattern traffic.Pattern
+	Rate    float64
+
+	AvgLatency     float64
+	P99Latency     float64
+	Throughput     float64 // accepted packets/node/cycle
+	FlitThroughput float64
+	Samples        int
+	DeliveredFrac  float64 // of packets created in the window
+
+	// Fig. 13 / Fig. 9 extras (FastPass runs).
+	RegularFrac, FastFrac, DroppedFrac float64
+	FastSplitRegular, FastSplitFast    float64
+	RegularLatency                     float64 // mean over never-promoted packets
+	Promoted, Drops                    int64
+
+	Saturated bool
+}
+
+// RunSynthetic executes one synthetic point.
+func RunSynthetic(cfg SynthConfig) SynthResult {
+	cfg.setDefaults()
+	inst := Build(cfg.Options)
+	col := stats.New(cfg.W*cfg.H, int64(cfg.Warmup), int64(cfg.Warmup+cfg.Measure))
+	inst.SetOnEject(col.OnEject)
+	gen := &traffic.Generator{
+		Pattern: cfg.Pattern, Rate: cfg.Rate, W: cfg.W, H: cfg.H,
+		HotspotNode: cfg.HotspotNode, HotspotFraction: cfg.HotspotFraction,
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 0x5eed))
+	total := cfg.Warmup + cfg.Measure + cfg.Drain
+	for c := 0; c < total; c++ {
+		for _, pkt := range gen.Tick(inst.Cycle(), rng) {
+			col.OnCreate(pkt)
+			inst.Enqueue(pkt)
+		}
+		inst.Step()
+	}
+	res := SynthResult{
+		Scheme:         cfg.Scheme,
+		Pattern:        cfg.Pattern,
+		Rate:           cfg.Rate,
+		AvgLatency:     col.MeanLatency(),
+		P99Latency:     col.Percentile(0.99),
+		Throughput:     col.Throughput(),
+		FlitThroughput: col.FlitThroughput(),
+		Samples:        col.Samples(),
+	}
+	if created := col.MeasuredCreated(); created > 0 {
+		res.DeliveredFrac = float64(col.Samples()) / float64(created)
+	}
+	res.RegularFrac, res.FastFrac, res.DroppedFrac = col.Breakdown()
+	res.FastSplitRegular, res.FastSplitFast = col.FastSplit()
+	res.RegularLatency = col.RegularMean()
+	if inst.FP != nil {
+		res.Promoted = inst.FP.Counters.Promoted
+		res.Drops = inst.FP.Counters.Drops
+	}
+	// Saturation: runaway latency, or measured packets that never made
+	// it out even after the drain window.
+	res.Saturated = !(res.AvgLatency == res.AvgLatency) || // NaN: nothing delivered
+		res.AvgLatency > cfg.SatLatency ||
+		res.DeliveredFrac < 0.9
+	return res
+}
+
+// SweepLatency measures a latency-vs-injection-rate curve (one Fig. 7
+// series). It stops two points after saturation to bound runtime; the
+// remaining rates are reported as saturated points with the last
+// measured latency.
+func SweepLatency(base SynthConfig, rates []float64) []SynthResult {
+	var out []SynthResult
+	saturatedFor := 0
+	for _, r := range rates {
+		if saturatedFor >= 2 {
+			last := out[len(out)-1]
+			last.Rate = r
+			last.Saturated = true
+			out = append(out, last)
+			continue
+		}
+		cfg := base
+		cfg.Rate = r
+		res := RunSynthetic(cfg)
+		out = append(out, res)
+		if res.Saturated {
+			saturatedFor++
+		} else {
+			saturatedFor = 0
+		}
+	}
+	return out
+}
+
+// SaturationThroughput bisects the highest non-saturated injection rate
+// and returns the accepted throughput there (a Fig. 8 bar).
+func SaturationThroughput(base SynthConfig, lo, hi float64, iters int) (rate float64, throughput float64) {
+	if iters == 0 {
+		iters = 7
+	}
+	check := func(r float64) (bool, float64) {
+		cfg := base
+		cfg.Rate = r
+		res := RunSynthetic(cfg)
+		return !res.Saturated, res.Throughput
+	}
+	okLo, thrLo := check(lo)
+	if !okLo {
+		return lo, 0
+	}
+	if okHi, thrHi := check(hi); okHi {
+		return hi, thrHi
+	}
+	bestRate, bestThr := lo, thrLo
+	for i := 0; i < iters; i++ {
+		mid := (lo + hi) / 2
+		if ok, thr := check(mid); ok {
+			lo, bestRate, bestThr = mid, mid, thr
+		} else {
+			hi = mid
+		}
+	}
+	return bestRate, bestThr
+}

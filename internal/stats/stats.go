@@ -1,0 +1,165 @@
+// Package stats collects the measurements behind the paper's figures:
+// average packet latency, 99th-percentile tail latency (Fig. 12),
+// throughput in packets/node/cycle (Figs. 7 and 8), the regular vs
+// bufferless latency split of FastPass packets (Fig. 9), and the
+// regular / FastPass / dropped packet-type breakdown (Fig. 13).
+package stats
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/message"
+)
+
+// Collector accumulates per-packet results. Packets *created* inside the
+// measurement window [MeasStart, MeasEnd) contribute latency samples;
+// packets *ejected* inside the window contribute to throughput. The
+// usual warmup → measure → drain methodology wires both.
+type Collector struct {
+	Nodes              int
+	MeasStart, MeasEnd int64
+
+	latencies []int64
+	// fastSplit records (regular, fast) cycle splits for measured
+	// FastPass packets; regOnly holds latencies of never-promoted
+	// packets (Fig. 9's "regular packets" series).
+	fastTime, regTime []int64
+	regOnly           []int64
+
+	created        int64
+	ejectedWindow  int64
+	flitsWindow    int64
+	regularPkts    int64
+	fastPkts       int64
+	droppedPkts    int64
+	perClassEjects [message.NumClasses]int64
+}
+
+// New creates a collector for a network of the given size measuring the
+// window [measStart, measEnd).
+func New(nodes int, measStart, measEnd int64) *Collector {
+	return &Collector{Nodes: nodes, MeasStart: measStart, MeasEnd: measEnd}
+}
+
+// inWindow reports whether a cycle falls in the measurement window.
+func (c *Collector) inWindow(cycle int64) bool {
+	return cycle >= c.MeasStart && cycle < c.MeasEnd
+}
+
+// OnCreate observes packet creation (tagging).
+func (c *Collector) OnCreate(pkt *message.Packet) {
+	if c.inWindow(pkt.CreateTime) {
+		c.created++
+	}
+}
+
+// OnEject observes a packet leaving the network.
+func (c *Collector) OnEject(pkt *message.Packet) {
+	if c.inWindow(pkt.EjectTime) {
+		c.ejectedWindow++
+		c.flitsWindow += int64(pkt.Len)
+		c.perClassEjects[pkt.Class]++
+	}
+	if !c.inWindow(pkt.CreateTime) {
+		return
+	}
+	lat := pkt.Latency()
+	c.latencies = append(c.latencies, lat)
+	switch {
+	case pkt.Dropped > 0:
+		c.droppedPkts++
+	case pkt.Kind == message.FastPass:
+		c.fastPkts++
+	default:
+		c.regularPkts++
+	}
+	if pkt.Kind == message.FastPass {
+		c.fastTime = append(c.fastTime, pkt.FastCycles)
+		c.regTime = append(c.regTime, lat-pkt.FastCycles)
+	} else {
+		c.regOnly = append(c.regOnly, lat)
+	}
+}
+
+// RegularMean is the mean latency of measured packets that were never
+// promoted to FastPass.
+func (c *Collector) RegularMean() float64 { return mean(c.regOnly) }
+
+// Samples reports the number of measured latency samples.
+func (c *Collector) Samples() int { return len(c.latencies) }
+
+// MeasuredCreated reports packets created inside the window.
+func (c *Collector) MeasuredCreated() int64 { return c.created }
+
+// MeanLatency is the average packet latency over measured packets, or
+// NaN with no samples.
+func (c *Collector) MeanLatency() float64 { return mean(c.latencies) }
+
+// Percentile returns the p-quantile (0 < p <= 1) of measured latencies
+// by nearest-rank, or NaN with no samples. Fig. 12 uses p = 0.99.
+func (c *Collector) Percentile(p float64) float64 {
+	if len(c.latencies) == 0 {
+		return math.NaN()
+	}
+	s := append([]int64(nil), c.latencies...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(math.Ceil(p*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return float64(s[idx])
+}
+
+// Throughput is the accepted traffic in packets/node/cycle during the
+// window.
+func (c *Collector) Throughput() float64 {
+	w := c.MeasEnd - c.MeasStart
+	if w <= 0 || c.Nodes == 0 {
+		return 0
+	}
+	return float64(c.ejectedWindow) / float64(c.Nodes) / float64(w)
+}
+
+// FlitThroughput is the accepted traffic in flits/node/cycle.
+func (c *Collector) FlitThroughput() float64 {
+	w := c.MeasEnd - c.MeasStart
+	if w <= 0 || c.Nodes == 0 {
+		return 0
+	}
+	return float64(c.flitsWindow) / float64(c.Nodes) / float64(w)
+}
+
+// Breakdown reports the regular / FastPass / dropped fractions of
+// measured packets (Fig. 13). Fractions sum to 1 when any packets were
+// measured.
+func (c *Collector) Breakdown() (regular, fast, dropped float64) {
+	total := float64(c.regularPkts + c.fastPkts + c.droppedPkts)
+	if total == 0 {
+		return 0, 0, 0
+	}
+	return float64(c.regularPkts) / total, float64(c.fastPkts) / total, float64(c.droppedPkts) / total
+}
+
+// FastSplit reports the mean regular (buffered) and FastPass
+// (bufferless) latency components of measured FastPass packets (Fig. 9).
+func (c *Collector) FastSplit() (regular, fast float64) {
+	return mean(c.regTime), mean(c.fastTime)
+}
+
+// ClassEjects reports packets of a class ejected in the window.
+func (c *Collector) ClassEjects(cl message.Class) int64 { return c.perClassEjects[cl] }
+
+func mean(xs []int64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum int64
+	for _, x := range xs {
+		sum += x
+	}
+	return float64(sum) / float64(len(xs))
+}

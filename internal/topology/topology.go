@@ -1,0 +1,198 @@
+// Package topology models the physical structure of a network-on-chip:
+// nodes (routers), directed links between them, and the port geometry of
+// each router. It provides the 2-D mesh used throughout the paper's
+// evaluation plus arbitrary irregular bidirectional graphs for the
+// §III-F extension.
+package topology
+
+import "fmt"
+
+// Direction identifies a router port. Port 0 is always the local
+// (injection/ejection) port; the four mesh directions follow.
+type Direction int
+
+// Mesh port numbering. Irregular topologies use ports >= 1 as opaque
+// channel indices.
+const (
+	Local Direction = iota
+	North
+	East
+	South
+	West
+	NumMeshPorts // 5
+)
+
+// String returns the conventional short name of a mesh direction.
+func (d Direction) String() string {
+	switch d {
+	case Local:
+		return "Local"
+	case North:
+		return "North"
+	case East:
+		return "East"
+	case South:
+		return "South"
+	case West:
+		return "West"
+	default:
+		return fmt.Sprintf("Port(%d)", int(d))
+	}
+}
+
+// Opposite returns the direction a flit arrives from when it was sent
+// toward d: a flit sent East arrives on the downstream router's West port.
+func (d Direction) Opposite() Direction {
+	switch d {
+	case North:
+		return South
+	case South:
+		return North
+	case East:
+		return West
+	case West:
+		return East
+	default:
+		return d
+	}
+}
+
+// Link is one directed channel between two routers. A bidirectional
+// channel between routers A and B is represented by two Links.
+type Link struct {
+	// ID is the dense index of this link within its topology.
+	ID int
+	// Src and Dst are node IDs.
+	Src, Dst int
+	// SrcPort is the output port on Src; DstPort the input port on Dst.
+	SrcPort, DstPort Direction
+}
+
+// Topology describes a network graph as seen by the simulator. All
+// concrete topologies in this package satisfy it.
+type Topology interface {
+	// NumNodes reports the number of routers.
+	NumNodes() int
+	// NumPorts reports the number of ports per router, including Local.
+	// For irregular topologies this is the maximum over routers.
+	NumPorts() int
+	// Links returns every directed link, indexed by Link.ID.
+	Links() []Link
+	// OutLink returns the directed link leaving node through port, or
+	// nil when that port is unconnected (mesh edge).
+	OutLink(node int, port Direction) *Link
+	// Distance reports the minimal hop count between two nodes.
+	Distance(a, b int) int
+	// Diameter reports the maximum Distance over all node pairs.
+	Diameter() int
+}
+
+// Mesh is a W×H 2-D mesh. Node IDs are row-major: id = y*W + x, with x
+// growing East and y growing South (row 0 is the top row, matching the
+// paper's figures).
+type Mesh struct {
+	W, H  int
+	links []Link
+	// out[node][port] is the index into links, or -1.
+	out [][]int
+}
+
+// NewMesh constructs a W×H mesh. Both dimensions must be at least 1.
+func NewMesh(w, h int) *Mesh {
+	if w < 1 || h < 1 {
+		panic(fmt.Sprintf("topology: invalid mesh %dx%d", w, h))
+	}
+	m := &Mesh{W: w, H: h}
+	m.out = make([][]int, w*h)
+	for n := range m.out {
+		m.out[n] = []int{-1, -1, -1, -1, -1}
+	}
+	add := func(src, dst int, sp Direction) {
+		l := Link{ID: len(m.links), Src: src, Dst: dst, SrcPort: sp, DstPort: sp.Opposite()}
+		m.links = append(m.links, l)
+		m.out[src][sp] = l.ID
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			n := m.ID(x, y)
+			if x+1 < w {
+				add(n, m.ID(x+1, y), East)
+				add(m.ID(x+1, y), n, West)
+			}
+			if y+1 < h {
+				add(n, m.ID(x, y+1), South)
+				add(m.ID(x, y+1), n, North)
+			}
+		}
+	}
+	return m
+}
+
+// ID returns the node ID at coordinates (x, y).
+func (m *Mesh) ID(x, y int) int { return y*m.W + x }
+
+// XY returns the coordinates of node id.
+func (m *Mesh) XY(id int) (x, y int) { return id % m.W, id / m.W }
+
+// NumNodes implements Topology.
+func (m *Mesh) NumNodes() int { return m.W * m.H }
+
+// NumPorts implements Topology.
+func (m *Mesh) NumPorts() int { return int(NumMeshPorts) }
+
+// Links implements Topology.
+func (m *Mesh) Links() []Link { return m.links }
+
+// OutLink implements Topology.
+func (m *Mesh) OutLink(node int, port Direction) *Link {
+	if port <= Local || int(port) >= len(m.out[node]) {
+		return nil
+	}
+	idx := m.out[node][port]
+	if idx < 0 {
+		return nil
+	}
+	return &m.links[idx]
+}
+
+// Distance implements Topology (Manhattan distance).
+func (m *Mesh) Distance(a, b int) int {
+	ax, ay := m.XY(a)
+	bx, by := m.XY(b)
+	return abs(ax-bx) + abs(ay-by)
+}
+
+// Diameter implements Topology.
+func (m *Mesh) Diameter() int { return (m.W - 1) + (m.H - 1) }
+
+// PortToward returns the set of productive output ports for a minimal
+// route from cur to dst, in XY preference order (East/West before
+// North/South). An empty slice means cur == dst.
+func (m *Mesh) PortToward(cur, dst int) []Direction {
+	return m.AppendPortToward(nil, cur, dst)
+}
+
+// AppendPortToward is PortToward appending into buf (hot-path variant:
+// no allocation when buf has capacity).
+func (m *Mesh) AppendPortToward(buf []Direction, cur, dst int) []Direction {
+	cx, cy := m.XY(cur)
+	dx, dy := m.XY(dst)
+	if dx > cx {
+		buf = append(buf, East)
+	} else if dx < cx {
+		buf = append(buf, West)
+	}
+	if dy > cy {
+		buf = append(buf, South)
+	} else if dy < cy {
+		buf = append(buf, North)
+	}
+	return buf
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,172 @@
+package traffic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/message"
+)
+
+func TestPatternStrings(t *testing.T) {
+	for _, p := range Patterns() {
+		if p.String() == "" || p.String() == "Pattern(99)" {
+			t.Errorf("pattern %d has bad name %q", p, p)
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	g := &Generator{Pattern: Transpose, W: 4, H: 4}
+	rng := rand.New(rand.NewSource(1))
+	// (x,y) -> (y,x): node 1 = (1,0) -> (0,1) = node 4.
+	if d := g.Dest(rng, 1); d != 4 {
+		t.Errorf("Transpose(1) = %d, want 4", d)
+	}
+	// Diagonal maps to itself.
+	if d := g.Dest(rng, 5); d != 5 {
+		t.Errorf("Transpose(5) = %d, want 5", d)
+	}
+}
+
+func TestShuffleAndRotationAreInverses(t *testing.T) {
+	g1 := &Generator{Pattern: Shuffle, W: 8, H: 8}
+	g2 := &Generator{Pattern: BitRotation, W: 8, H: 8}
+	rng := rand.New(rand.NewSource(1))
+	for s := 0; s < 64; s++ {
+		if got := g2.Dest(rng, g1.Dest(rng, s)); got != s {
+			t.Fatalf("rotate(shuffle(%d)) = %d", s, got)
+		}
+	}
+}
+
+func TestBitComplement(t *testing.T) {
+	g := &Generator{Pattern: BitComplement, W: 4, H: 4}
+	rng := rand.New(rand.NewSource(1))
+	if d := g.Dest(rng, 0); d != 15 {
+		t.Errorf("BitComplement(0) = %d, want 15", d)
+	}
+	if d := g.Dest(rng, 5); d != 10 {
+		t.Errorf("BitComplement(5) = %d, want 10", d)
+	}
+}
+
+func TestUniformNeverSelf(t *testing.T) {
+	g := &Generator{Pattern: Uniform, W: 4, H: 4}
+	rng := rand.New(rand.NewSource(2))
+	counts := make([]int, 16)
+	for i := 0; i < 16000; i++ {
+		d := g.Dest(rng, 5)
+		if d == 5 {
+			t.Fatal("uniform destination equals source")
+		}
+		counts[d]++
+	}
+	// Roughly uniform over the 15 other nodes.
+	for d, k := range counts {
+		if d == 5 {
+			continue
+		}
+		if k < 800 || k > 1400 {
+			t.Errorf("node %d drew %d of 16000 (expected ~1067)", d, k)
+		}
+	}
+}
+
+func TestHotspotBias(t *testing.T) {
+	g := &Generator{Pattern: Hotspot, W: 4, H: 4, HotspotNode: 0, HotspotFraction: 0.5}
+	rng := rand.New(rand.NewSource(3))
+	hot := 0
+	n := 10000
+	for i := 0; i < n; i++ {
+		if g.Dest(rng, 7) == 0 {
+			hot++
+		}
+	}
+	frac := float64(hot) / float64(n)
+	if frac < 0.45 || frac < 0.2 {
+		// 0.5 direct + ~1/15 of the uniform remainder.
+		t.Errorf("hotspot fraction = %v", frac)
+	}
+}
+
+func TestTickRateAndMix(t *testing.T) {
+	g := &Generator{Pattern: Uniform, W: 8, H: 8, Rate: 0.1}
+	rng := rand.New(rand.NewSource(4))
+	cycles := 2000
+	var pkts []*message.Packet
+	for c := 0; c < cycles; c++ {
+		pkts = append(pkts, g.Tick(int64(c), rng)...)
+	}
+	got := float64(len(pkts)) / float64(cycles) / 64.0
+	if math.Abs(got-0.1) > 0.01 {
+		t.Errorf("offered rate = %v, want ~0.1", got)
+	}
+	ones, fives := 0, 0
+	ids := map[uint64]bool{}
+	for _, p := range pkts {
+		if p.Class != message.Request {
+			t.Fatal("synthetic traffic rides a single vnet (Request class)")
+		}
+		switch p.Len {
+		case CtrlLen:
+			ones++
+		case DataLen:
+			fives++
+		default:
+			t.Fatalf("unexpected length %d", p.Len)
+		}
+		if ids[p.ID] {
+			t.Fatal("duplicate packet ID")
+		}
+		ids[p.ID] = true
+		if p.Src == p.Dst {
+			t.Fatal("self-addressed packet emitted")
+		}
+	}
+	if ones == 0 || fives == 0 {
+		t.Error("mix should contain both packet sizes")
+	}
+	// Table II: a 50/50 mix of 1-flit and 5-flit packets.
+	frac := float64(fives) / float64(ones+fives)
+	if frac < 0.45 || frac > 0.55 {
+		t.Errorf("data fraction = %v, want ~0.5", frac)
+	}
+}
+
+// Property: all patterns stay in range on an 8x8 mesh.
+func TestDestInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, p := range Patterns() {
+		g := &Generator{Pattern: p, W: 8, H: 8}
+		f := func(raw uint8) bool {
+			src := int(raw) % 64
+			d := g.Dest(rng, src)
+			return d >= 0 && d < 64
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%v: %v", p, err)
+		}
+	}
+}
+
+func TestTransposePanicsOnNonSquare(t *testing.T) {
+	g := &Generator{Pattern: Transpose, W: 4, H: 2}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.Dest(rand.New(rand.NewSource(1)), 1)
+}
+
+func TestShufflePanicsOnNonPowerOfTwo(t *testing.T) {
+	g := &Generator{Pattern: Shuffle, W: 3, H: 3}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.Dest(rand.New(rand.NewSource(1)), 1)
+}

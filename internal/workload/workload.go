@@ -1,0 +1,121 @@
+// Package workload names the application traffic profiles used by the
+// paper's evaluation (PARSEC and SPLASH-2 applications run under gem5 +
+// Ruby). Real traces are not available here, so each profile is a
+// synthetic stand-in: a parameter set for the internal/protocol engine
+// chosen to give the application its qualitative character — network
+// intensity, sharing behaviour (forwards and invalidations), writeback
+// weight and locality. The absolute numbers are not calibrated to the
+// originals; what matters for the reproduction is that the profiles are
+// distinct and that every scheme sees identical offered traffic.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/protocol"
+)
+
+// App couples a name to its protocol profile and execution-time quota.
+type App struct {
+	Name string
+	// Profile drives the protocol engine.
+	Profile protocol.Profile
+	// WorkQuota is the transaction count that defines "execution time"
+	// (cycles to complete the quota) in Fig. 10's normalized runtime.
+	WorkQuota int64
+}
+
+// profiles is the registry. Intensities follow the usual
+// characterisation of these workloads: canneal and streamcluster are
+// network-hungry with heavy sharing; radix and fft are bursty with big
+// writeback shares; fmm, lu_cb and volrend are lighter with more
+// locality; barnes sits in the middle.
+var profiles = map[string]App{
+	"Radix": {
+		Name: "Radix",
+		Profile: protocol.Profile{IssueRate: 0.016, Burst: 6, HotFraction: 0.08, MSHRs: 12,
+			FwdFraction: 0.15, InvFraction: 0.10, WBFraction: 0.20, Locality: 0.10},
+		WorkQuota: 3000,
+	},
+	"Canneal": {
+		Name: "Canneal",
+		Profile: protocol.Profile{IssueRate: 0.020, Burst: 8, HotFraction: 0.10, MSHRs: 12,
+			FwdFraction: 0.30, InvFraction: 0.25, WBFraction: 0.10, Locality: 0.00},
+		WorkQuota: 3000,
+	},
+	"FFT": {
+		Name: "FFT",
+		Profile: protocol.Profile{IssueRate: 0.018, Burst: 6, HotFraction: 0.08, MSHRs: 12,
+			FwdFraction: 0.10, InvFraction: 0.05, WBFraction: 0.25, Locality: 0.20},
+		WorkQuota: 3000,
+	},
+	"FMM": {
+		Name: "FMM",
+		Profile: protocol.Profile{IssueRate: 0.013, Burst: 4, HotFraction: 0.08, MSHRs: 12,
+			FwdFraction: 0.20, InvFraction: 0.15, WBFraction: 0.10, Locality: 0.30},
+		WorkQuota: 3000,
+	},
+	"Lu_cb": {
+		Name: "Lu_cb",
+		Profile: protocol.Profile{IssueRate: 0.015, Burst: 4, HotFraction: 0.06, MSHRs: 12,
+			FwdFraction: 0.12, InvFraction: 0.08, WBFraction: 0.15, Locality: 0.40},
+		WorkQuota: 3000,
+	},
+	"Streamcluster": {
+		Name: "Streamcluster",
+		Profile: protocol.Profile{IssueRate: 0.021, Burst: 8, HotFraction: 0.10, MSHRs: 12,
+			FwdFraction: 0.25, InvFraction: 0.30, WBFraction: 0.05, Locality: 0.05},
+		WorkQuota: 3000,
+	},
+	"Volrend": {
+		Name: "Volrend",
+		Profile: protocol.Profile{IssueRate: 0.011, Burst: 4, HotFraction: 0.06, MSHRs: 12,
+			FwdFraction: 0.18, InvFraction: 0.12, WBFraction: 0.08, Locality: 0.25},
+		WorkQuota: 3000,
+	},
+	"Barnes": {
+		Name: "Barnes",
+		Profile: protocol.Profile{IssueRate: 0.017, Burst: 6, HotFraction: 0.10, MSHRs: 12,
+			FwdFraction: 0.22, InvFraction: 0.18, WBFraction: 0.12, Locality: 0.15},
+		WorkQuota: 3000,
+	},
+}
+
+// Get returns a named application profile.
+func Get(name string) (App, error) {
+	a, ok := profiles[name]
+	if !ok {
+		return App{}, fmt.Errorf("workload: unknown application %q (have %v)", name, Names())
+	}
+	return a, nil
+}
+
+// MustGet is Get for static names.
+func MustGet(name string) App {
+	a, err := Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Names lists the registered applications alphabetically.
+func Names() []string {
+	var ns []string
+	for n := range profiles {
+		ns = append(ns, n)
+	}
+	sort.Strings(ns)
+	return ns
+}
+
+// Fig10Apps is the application set of the paper's Fig. 10 and Fig. 12.
+func Fig10Apps() []string {
+	return []string{"Radix", "Canneal", "FFT", "FMM", "Lu_cb", "Streamcluster", "Volrend"}
+}
+
+// Fig13Apps is the application set of Fig. 13(b).
+func Fig13Apps() []string {
+	return []string{"Barnes", "Canneal", "FFT", "FMM", "Volrend"}
+}

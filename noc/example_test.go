@@ -1,0 +1,66 @@
+package noc_test
+
+import (
+	"fmt"
+
+	"repro/noc"
+)
+
+// ExampleRunSynthetic measures one synthetic point: FastPass on a 4×4
+// mesh under light uniform traffic.
+func ExampleRunSynthetic() {
+	res := noc.RunSynthetic(noc.SynthConfig{
+		Options: noc.Options{Scheme: noc.FastPass, W: 4, H: 4, Seed: 1},
+		Pattern: noc.Uniform,
+		Rate:    0.02,
+		Warmup:  500, Measure: 2000, Drain: 1500,
+	})
+	fmt.Println("saturated:", res.Saturated)
+	fmt.Println("delivered everything:", res.DeliveredFrac > 0.99)
+	// Output:
+	// saturated: false
+	// delivered everything: true
+}
+
+// ExampleRunApp runs a coherence-protocol workload (the Fig. 10
+// methodology) on the VN-free Pitstop baseline.
+func ExampleRunApp() {
+	app, _ := noc.GetApp("Volrend")
+	app.WorkQuota = 200
+	res := noc.RunApp(noc.AppConfig{
+		Options:   noc.Options{Scheme: noc.Pitstop, W: 4, H: 4, Seed: 5},
+		App:       app,
+		MaxCycles: 200000,
+	})
+	fmt.Println("completed the quota:", !res.Timeout)
+	// Output:
+	// completed the quota: true
+}
+
+// ExampleTable1 prints one row of the paper's qualitative comparison.
+func ExampleTable1() {
+	for _, row := range noc.Table1() {
+		if row.Solution == "FastPass" {
+			fmt.Println(row.NoDetection, row.ProtocolFree, row.NetworkFree, row.NoMisrouting)
+		}
+	}
+	// Output:
+	// true true true true
+}
+
+// ExampleEstimatePowerArea reproduces the headline Fig. 11 ratio.
+func ExampleEstimatePowerArea() {
+	var esc, fp float64
+	for _, c := range noc.Fig11Configs() {
+		r := noc.EstimatePowerArea(c)
+		switch c.Name {
+		case "EscapeVC (VN=6, VC=2)":
+			esc = r.Area.Total()
+		case "FastPass (VN=0, VC=2)":
+			fp = r.Area.Total()
+		}
+	}
+	fmt.Printf("FastPass area reduction ≈ %.0f%%\n", 100*(1-fp/esc))
+	// Output:
+	// FastPass area reduction ≈ 40%
+}

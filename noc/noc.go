@@ -1,0 +1,115 @@
+// Package noc is the public API of the FastPass reproduction: build any
+// of the paper's eight schemes over the cycle-accurate NoC substrate,
+// run synthetic or coherence-protocol workloads, sweep injection rates,
+// bisect saturation throughput, and estimate router power and area.
+//
+// Quick start:
+//
+//	res := noc.RunSynthetic(noc.SynthConfig{
+//	    Options: noc.Options{Scheme: noc.FastPass, W: 8, H: 8, Seed: 1},
+//	    Pattern: noc.Uniform,
+//	    Rate:    0.05,
+//	})
+//	fmt.Println(res.AvgLatency)
+//
+// The heavy machinery lives in internal packages; this package
+// re-exports the stable surface used by the example programs, the
+// command-line tools and the paper-figure benchmarks.
+package noc
+
+import (
+	"repro/internal/powerarea"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+	"repro/internal/workload"
+)
+
+// Scheme identifies a flow-control/deadlock-freedom design.
+type Scheme = sim.Scheme
+
+// The eight evaluated schemes (Table II).
+const (
+	FastPass = sim.FastPass
+	EscapeVC = sim.EscapeVC
+	SPIN     = sim.SPIN
+	SWAP     = sim.SWAP
+	DRAIN    = sim.DRAIN
+	Pitstop  = sim.Pitstop
+	MinBD    = sim.MinBD
+	TFC      = sim.TFC
+)
+
+// Schemes lists every scheme.
+func Schemes() []Scheme { return sim.Schemes() }
+
+// ParseScheme resolves a scheme name ("FastPass", "EscapeVC", ...).
+func ParseScheme(name string) (Scheme, error) { return sim.ParseScheme(name) }
+
+// Pattern identifies a synthetic traffic pattern.
+type Pattern = traffic.Pattern
+
+// The synthetic patterns (Table II plus Fig. 7's Bit Rotation).
+const (
+	Uniform       = traffic.Uniform
+	Transpose     = traffic.Transpose
+	Shuffle       = traffic.Shuffle
+	BitRotation   = traffic.BitRotation
+	BitComplement = traffic.BitComplement
+	Hotspot       = traffic.Hotspot
+)
+
+// Patterns lists the supported patterns.
+func Patterns() []Pattern { return traffic.Patterns() }
+
+// Options sizes a scheme instance; SynthConfig and AppConfig describe
+// runs. See the sim package documentation for field semantics.
+type (
+	Options     = sim.Options
+	SynthConfig = sim.SynthConfig
+	SynthResult = sim.SynthResult
+	AppConfig   = sim.AppConfig
+	AppResult   = sim.AppResult
+)
+
+// RunSynthetic executes one synthetic-traffic measurement point.
+func RunSynthetic(cfg SynthConfig) SynthResult { return sim.RunSynthetic(cfg) }
+
+// SweepLatency measures a latency-vs-injection-rate curve (a Fig. 7
+// series).
+func SweepLatency(base SynthConfig, rates []float64) []SynthResult {
+	return sim.SweepLatency(base, rates)
+}
+
+// SaturationThroughput bisects the highest non-saturated rate and
+// returns the accepted throughput there (a Fig. 8 bar).
+func SaturationThroughput(base SynthConfig, lo, hi float64, iters int) (rate, throughput float64) {
+	return sim.SaturationThroughput(base, lo, hi, iters)
+}
+
+// App is a named application workload profile.
+type App = workload.App
+
+// GetApp returns a named application profile (Radix, Canneal, FFT, FMM,
+// Lu_cb, Streamcluster, Volrend, Barnes).
+func GetApp(name string) (App, error) { return workload.Get(name) }
+
+// AppNames lists the registered application profiles.
+func AppNames() []string { return workload.Names() }
+
+// RunApp executes one application workload on one scheme (Figs. 10, 12
+// and 13b).
+func RunApp(cfg AppConfig) AppResult { return sim.RunApp(cfg) }
+
+// PowerAreaConfig and PowerAreaResult expose the analytical router
+// power/area model of Fig. 11.
+type (
+	PowerAreaConfig = powerarea.Config
+	PowerAreaResult = powerarea.Result
+)
+
+// EstimatePowerArea runs the analytical model for one router
+// configuration.
+func EstimatePowerArea(c PowerAreaConfig) PowerAreaResult { return powerarea.Estimate(c) }
+
+// Fig11Configs returns the six router configurations of Fig. 11.
+func Fig11Configs() []PowerAreaConfig { return powerarea.Fig11Configs() }
