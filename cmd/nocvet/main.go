@@ -1,0 +1,20 @@
+// Command nocvet is the repo's determinism and invariant linter: a
+// stdlib-only static-analysis suite (go/parser + go/types, no x/tools)
+// that keeps the simulator bit-reproducible. Run it over the module:
+//
+//	go run ./cmd/nocvet ./...
+//
+// It exits 0 when clean, 1 on findings, 2 on load errors. See
+// internal/lint for the analyzers and DESIGN.md for the conventions
+// they enforce.
+package main
+
+import (
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(lint.Main(os.Args[1:], ".", os.Stdout, os.Stderr))
+}

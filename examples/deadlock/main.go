@@ -91,7 +91,7 @@ func main() {
 	fmt.Println("2) Same network, same traffic, FastPass attached:")
 	fp, deliveredFP := build(true)
 	totalFP := offer(fp)
-	cycles := 0
+	var cycles int64
 	for *deliveredFP < totalFP && cycles < 400000 {
 		fp.Run(1000)
 		cycles += 1000

@@ -117,7 +117,7 @@ func main() {
 		nc.OnEject = func(*message.Packet) { fpDone++ }
 	}
 	fpTotal := load(fp)
-	cycles := 0
+	var cycles int64
 	for fpDone < fpTotal && cycles < 600000 {
 		fp.Run(1000)
 		cycles += 1000

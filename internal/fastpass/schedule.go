@@ -71,7 +71,7 @@ func (s Schedule) RoundLen() int { return s.H * s.PhaseLen() }
 
 // Phase returns the phase index in [0, H) at the given cycle.
 func (s Schedule) Phase(cycle int64) int {
-	return int(cycle/int64(s.PhaseLen())) % s.H
+	return int((cycle / int64(s.PhaseLen())) % int64(s.H))
 }
 
 // Slot returns the slot index in [0, P) within the current phase.

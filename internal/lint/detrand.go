@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DetRand forbids wall-clock reads and the global math/rand functions
+// inside internal/ simulation packages. Both are hidden inputs: the
+// former makes a run depend on the host, the latter on process-global
+// generator state shared with whoever else rolled it. Simulation code
+// must take time from the simulated cycle and randomness from an
+// explicitly seeded *rand.Rand threaded through the call graph.
+type DetRand struct{}
+
+func (DetRand) Name() string { return "detrand" }
+func (DetRand) Doc() string {
+	return "forbid time.Now/time.Since and global math/rand state in internal/ packages"
+}
+
+// forbiddenTime is the wall-clock surface of package time. Durations,
+// constants, and formatting stay legal — only host-clock reads break
+// reproducibility.
+var forbiddenTime = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+}
+
+// forbiddenRand is every top-level math/rand function that touches the
+// package-global generator. The constructors (New, NewSource, NewZipf)
+// are the sanctioned alternative and stay legal.
+var forbiddenRand = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+	// math/rand/v2 spellings.
+	"IntN": true, "Int32": true, "Int32N": true, "Int64": true,
+	"Int64N": true, "N": true, "Uint32N": true, "Uint64N": true,
+	"UintN": true, "Uint": true,
+}
+
+func (DetRand) Run(p *Package) []Finding {
+	if !strings.Contains(p.Path+"/", "/internal/") {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calledFunc(p, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // methods on a seeded *rand.Rand are the fix, not the bug
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if forbiddenTime[fn.Name()] {
+					out = append(out, p.finding("detrand", call,
+						"call to time.%s reads the host clock; simulation time must come from the cycle counter", fn.Name()))
+				}
+			case "math/rand", "math/rand/v2":
+				if forbiddenRand[fn.Name()] {
+					out = append(out, p.finding("detrand", call,
+						"global rand.%s uses process-shared generator state; use an explicitly seeded *rand.Rand", fn.Name()))
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// calledFunc resolves a call expression to the function object it
+// invokes, through plain idents (dot imports) and selectors alike.
+func calledFunc(p *Package, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.Info.Uses[id].(*types.Func)
+	return fn
+}

@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"flag"
+	"fmt"
+	"io"
+)
+
+// Exit codes of the nocvet driver.
+const (
+	ExitClean    = 0 // no findings
+	ExitFindings = 1 // at least one unsuppressed finding
+	ExitError    = 2 // usage or load/type-check failure
+)
+
+// Main is the nocvet driver: it loads the requested packages, runs the
+// analyzer suite, and prints findings. Split out of cmd/nocvet so the
+// exit-code and output behavior is testable in-process.
+func Main(args []string, dir string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("nocvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	rules := fs.String("rules", "", "comma-separated analyzer subset (default: all)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: nocvet [-rules detrand,…] packages…\n\n"+
+			"Static analysis enforcing simulator determinism and invariant\n"+
+			"conventions. Packages are directories or ./… patterns within the\n"+
+			"module. Suppress a finding with `//nocvet:ignore <rule> <reason>`\n"+
+			"on the offending line or the line above.\n\nAnalyzers:\n")
+		for _, a := range All() {
+			fmt.Fprintf(stderr, "  %-11s %s\n", a.Name(), a.Doc())
+		}
+		fmt.Fprintf(stderr, "\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return ExitError
+	}
+	if *list {
+		for _, a := range All() {
+			fmt.Fprintf(stdout, "%-11s %s\n", a.Name(), a.Doc())
+		}
+		return ExitClean
+	}
+	analyzers, err := ByName(*rules)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return ExitError
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		fs.Usage()
+		return ExitError
+	}
+	loader, err := NewLoader(dir)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return ExitError
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return ExitError
+	}
+	findings := Run(pkgs, analyzers)
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "nocvet: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		return ExitFindings
+	}
+	return ExitClean
+}

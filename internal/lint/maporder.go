@@ -1,0 +1,187 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags `range` over a map when the loop body feeds shared
+// simulator state: Go randomizes map iteration order on purpose, so any
+// order-sensitive effect inside such a loop differs run to run even
+// with identical seeds. Three body shapes are order-sensitive enough to
+// flag:
+//
+//   - calling a method on a type defined in this module (router, NIC,
+//     network state mutations),
+//   - appending to a slice declared outside the loop (the element
+//     order inherits the map order),
+//   - sending into a channel (the receiver observes the map order).
+//
+// The fix is to extract the keys, sort them, and range over the sorted
+// slice. Order-insensitive reductions (counters, min/max) are not
+// flagged, and neither is the fix itself: an append whose target is
+// later passed to a sort/slices call has its order erased.
+type MapOrder struct{}
+
+func (MapOrder) Name() string { return "maporder" }
+func (MapOrder) Doc() string {
+	return "flag map iteration whose body mutates shared or ordered state"
+}
+
+func (MapOrder) Run(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		file := file
+		ast.Inspect(file, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.Info.Types[rng.X].Type
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if why := orderSensitiveBody(p, file, rng); why != "" {
+				out = append(out, p.finding("maporder", rng,
+					"map iteration order is nondeterministic and the body %s; range over sorted keys instead", why))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// orderSensitiveBody explains why the loop body is order-sensitive, or
+// returns "" if it looks like a commutative reduction.
+func orderSensitiveBody(p *Package, file *ast.File, rng *ast.RangeStmt) string {
+	why := ""
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if why != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			why = "sends into a channel"
+		case *ast.AssignStmt:
+			if target := appendTarget(n); target != nil && declaredOutside(p, target, rng) &&
+				!sortedAfter(p, file, target, rng) {
+				why = "appends to a slice declared outside the loop"
+			}
+		case *ast.CallExpr:
+			if name := moduleMethodCall(p, n); name != "" {
+				why = "calls simulator method " + name
+			}
+		}
+		return true
+	})
+	return why
+}
+
+// sortedAfter reports whether the object bound to id is later passed to
+// a sort or slices function in the same file — the canonical
+// collect-then-sort idiom, whose final order is deterministic.
+func sortedAfter(p *Package, file *ast.File, id *ast.Ident, rng *ast.RangeStmt) bool {
+	obj := p.Info.Uses[id]
+	if obj == nil {
+		obj = p.Info.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		fn := calledFunc(p, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if path := fn.Pkg().Path(); path != "sort" && path != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if aid, ok := ast.Unparen(arg).(*ast.Ident); ok && p.Info.Uses[aid] == obj {
+				sorted = true
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// appendTarget returns the assigned identifier of an `x = append(x, …)`
+// statement, or nil.
+func appendTarget(as *ast.AssignStmt) *ast.Ident {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil
+	}
+	id, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return nil
+	}
+	return id
+}
+
+// declaredOutside reports whether id's declaration lies outside the
+// range statement's span.
+func declaredOutside(p *Package, id *ast.Ident, rng *ast.RangeStmt) bool {
+	obj := p.Info.Uses[id]
+	if obj == nil {
+		obj = p.Info.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+}
+
+// moduleMethodCall returns "Type.Method" when the call invokes a method
+// whose receiver type is declared inside this module.
+func moduleMethodCall(p *Package, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	s := p.Info.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return ""
+	}
+	fn := s.Obj()
+	if fn.Pkg() == nil {
+		return ""
+	}
+	path := fn.Pkg().Path()
+	if path != p.ModPath && !strings.HasPrefix(path, p.ModPath+"/") {
+		return ""
+	}
+	recv := s.Recv()
+	for {
+		ptr, ok := recv.(*types.Pointer)
+		if !ok {
+			break
+		}
+		recv = ptr.Elem()
+	}
+	recvName := recv.String()
+	if named, ok := recv.(*types.Named); ok {
+		recvName = named.Obj().Name()
+	}
+	return recvName + "." + fn.Name()
+}

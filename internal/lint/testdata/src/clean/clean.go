@@ -1,0 +1,6 @@
+// Package clean is a nocvet fixture with nothing to report: the driver
+// must exit 0 on it.
+package clean
+
+// Tick advances a cycle counter deterministically.
+func Tick(cycle int64) int64 { return cycle + 1 }

@@ -1,0 +1,45 @@
+// Package cyclewidth is a nocvet fixture: cycle-counter width hygiene.
+package cyclewidth
+
+// BadField embeds a narrow cycle field next to a legitimately narrow
+// non-cycle one.
+type BadField struct {
+	StartCycle int
+	Budget     int
+}
+
+// Meter keeps its counter 64-bit.
+type Meter struct{ Cycle int64 }
+
+// BadConv narrows an unbounded cycle quotient.
+func BadConv(cycle int64) int {
+	return int(cycle / 100)
+}
+
+// BadParam takes a narrow cycle parameter.
+func BadParam(warmupCycles int) int64 {
+	return int64(warmupCycles)
+}
+
+// BadDefine infers a narrow type for a cycle counter.
+func BadDefine() int64 {
+	cycles := 0
+	for i := 0; i < 10; i++ {
+		cycles++
+	}
+	return int64(cycles)
+}
+
+// GoodMod bounds the value before narrowing — the sanctioned way to
+// derive a small index from a cycle count.
+func GoodMod(cycle int64, h int) int {
+	return int(cycle % int64(h))
+}
+
+// GoodWide keeps cycle arithmetic 64-bit end to end.
+func GoodWide(cycle int64) int64 { return cycle + 1 }
+
+// Suppressed documents a narrowing that is bounded by construction.
+func Suppressed(cycle int64) int {
+	return int(cycle / 8) //nocvet:ignore cyclewidth caller guarantees cycle < 2^30
+}

@@ -1,0 +1,32 @@
+// Package detrand is a nocvet fixture: hidden host inputs (wall clock,
+// global generator state) versus explicitly seeded randomness.
+package detrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Bad reads the host clock and rolls process-global generator state.
+func Bad() time.Duration {
+	start := time.Now()
+	n := rand.Intn(10)
+	f := rand.Float64()
+	rand.Shuffle(n, func(i, j int) {})
+	_ = f
+	return time.Since(start)
+}
+
+// Good threads an explicitly seeded generator and takes time from the
+// simulated cycle; duration constants stay legal.
+func Good(seed, cycle int64) int64 {
+	rng := rand.New(rand.NewSource(seed))
+	_ = 5 * time.Millisecond
+	return cycle + int64(rng.Intn(10))
+}
+
+// Suppressed documents why a host-clock read is acceptable here.
+func Suppressed() time.Time {
+	//nocvet:ignore detrand wall clock decorates logs only, never simulated state
+	return time.Now()
+}

@@ -1,0 +1,63 @@
+// Package maporder is a nocvet fixture: map iterations whose bodies
+// leak Go's randomized iteration order into shared state.
+package maporder
+
+import "sort"
+
+// Sink is a module-local type standing in for simulator state.
+type Sink struct{ total int }
+
+// Add mutates the sink.
+func (s *Sink) Add(v int) { s.total += v }
+
+// BadAppend leaks map order into a slice that is never sorted.
+func BadAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// BadSend leaks map order into a channel.
+func BadSend(m map[string]int, ch chan<- string) {
+	for k := range m {
+		ch <- k
+	}
+}
+
+// BadMethod replays map order into simulator state.
+func BadMethod(m map[int]int, s *Sink) {
+	for _, v := range m {
+		s.Add(v)
+	}
+}
+
+// GoodReduce is a commutative reduction: order cannot matter.
+func GoodReduce(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// GoodSorted is the canonical fix: collect, sort, then apply.
+func GoodSorted(m map[string]int, s *Sink) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		s.Add(m[k])
+	}
+}
+
+// SuppressedSend documents a deliberate exception.
+func SuppressedSend(m map[string]int, ch chan<- string) {
+	//nocvet:ignore maporder the receiver re-sorts before acting
+	for k := range m {
+		ch <- k
+	}
+}

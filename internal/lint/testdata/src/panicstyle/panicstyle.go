@@ -1,0 +1,50 @@
+// Package panicstyle is a nocvet fixture: attributable panic messages.
+package panicstyle
+
+import (
+	"errors"
+	"fmt"
+)
+
+// BadLiteral lacks the package prefix.
+func BadLiteral() {
+	panic("queue overflow")
+}
+
+// BadWrongPkg carries another package's prefix.
+func BadWrongPkg() {
+	panic("router: queue overflow")
+}
+
+// BadOpaque panics with a value the analyzer cannot check statically.
+func BadOpaque() {
+	panic(errors.New("panicstyle: made at runtime"))
+}
+
+// BadFormat has an unprefixed format string.
+func BadFormat(id int) {
+	panic(fmt.Sprintf("node %d wedged", id))
+}
+
+// GoodLiteral is attributable from the crash line alone.
+func GoodLiteral() {
+	panic("panicstyle: invariant violated")
+}
+
+// GoodFormat parameterises an instance id, like "nic %d: …" in the
+// real tree.
+func GoodFormat(id int) {
+	panic(fmt.Sprintf("panicstyle %d: invariant violated", id))
+}
+
+// GoodConcat is a compile-time constant with the right prefix.
+func GoodConcat() {
+	const detail = "credit underflow"
+	panic("panicstyle: " + detail)
+}
+
+// Suppressed re-panics an error known to carry the prefix already.
+func Suppressed(err error) {
+	//nocvet:ignore panicstyle err comes from a validator that prefixes its messages
+	panic(err)
+}

@@ -146,6 +146,7 @@ type vaSlot struct {
 // New wires a router for node id. Link IDs come from the mesh topology.
 func New(id int, mesh *topology.Mesh, cfg Config, env Env) *Router {
 	if err := cfg.Validate(); err != nil {
+		//nocvet:ignore panicstyle Validate builds its errors with the "router: " prefix
 		panic(err)
 	}
 	nPorts := mesh.NumPorts()

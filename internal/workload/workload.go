@@ -95,6 +95,7 @@ func Get(name string) (App, error) {
 func MustGet(name string) App {
 	a, err := Get(name)
 	if err != nil {
+		//nocvet:ignore panicstyle Get builds its errors with the "workload: " prefix
 		panic(err)
 	}
 	return a
