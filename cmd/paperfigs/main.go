@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	paperfigs              # everything, paper-scale (several minutes)
+//	paperfigs              # everything, paper-scale, all cores
 //	paperfigs -quick       # shrunken runs (sanity pass)
+//	paperfigs -j 1         # serial (same output bit-for-bit, slower)
 //	paperfigs -only fig7   # one artefact: table1 table2 fig7 fig8 fig9
 //	                       # fig10 fig11 fig12 fig13 ablations vcsweep hotspot ksweep
 package main
@@ -19,6 +20,7 @@ import (
 	"strings"
 
 	"repro/internal/exp"
+	"repro/internal/parallel"
 	"repro/noc"
 )
 
@@ -28,9 +30,10 @@ func main() {
 	quick := flag.Bool("quick", false, "shrunken meshes and windows")
 	only := flag.String("only", "", "regenerate a single artefact")
 	csvDir := flag.String("csv", "", "also write each figure's data as CSV into this directory")
+	jobs := flag.Int("j", 0, "parallel workers (0 = one per core, 1 = serial); output is identical at any -j")
 	flag.Parse()
 
-	s := exp.Scale{Quick: *quick}
+	s := exp.Scale{Quick: *quick, Jobs: *jobs}
 	want := func(name string) bool { return *only == "" || *only == name }
 	writeCSV := func(name, data string) {
 		if *csvDir == "" {
@@ -53,10 +56,15 @@ func main() {
 		table2(s)
 	}
 	if want("fig7") {
-		for _, p := range exp.Fig7Patterns() {
-			r := exp.Fig7(s, p)
-			fmt.Println(r)
-			writeCSV("fig7_"+strings.ToLower(p.String()), r.CSV())
+		// The four sub-figures are independent; compute them together,
+		// print in figure order.
+		patterns := exp.Fig7Patterns()
+		results := parallel.Map(s.Jobs, patterns, func(p noc.Pattern) exp.Fig7Result {
+			return exp.Fig7(s, p)
+		})
+		for i, p := range patterns {
+			fmt.Println(results[i])
+			writeCSV("fig7_"+strings.ToLower(p.String()), results[i].CSV())
 		}
 	}
 	if want("fig8") {

@@ -1,9 +1,12 @@
 // Command sweep measures latency-vs-injection-rate curves (Fig. 7
-// style) for one or more schemes and prints them as CSV.
+// style) for one or more schemes and prints them as CSV. Schemes run in
+// parallel, and each scheme's rate grid fans out too; the CSV is
+// bit-identical at any -j (see DESIGN.md on the determinism contract).
 //
 // Usage:
 //
 //	sweep -pattern Transpose -schemes FastPass,EscapeVC,SPIN -size 8
+//	sweep -schemes FastPass -rate-min 0.02 -rate-max 0.2 -j 4
 package main
 
 import (
@@ -13,6 +16,7 @@ import (
 	"math"
 	"strings"
 
+	"repro/internal/parallel"
 	"repro/noc"
 )
 
@@ -27,54 +31,139 @@ func main() {
 	rateMin := flag.Float64("rate-min", 0.02, "first injection rate")
 	rateMax := flag.Float64("rate-max", 0.30, "last injection rate")
 	rateStep := flag.Float64("rate-step", 0.02, "rate increment")
+	jobs := flag.Int("j", 0, "parallel workers (0 = one per core, 1 = serial)")
 	flag.Parse()
 
-	var pattern noc.Pattern
-	found := false
+	cfg, err := buildConfig(*schemes, *patternName, *size, *seed, *rateMin, *rateMax, *rateStep, *jobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(sweepCSV(cfg))
+}
+
+// sweepConfig is a fully-validated sweep description: every field has
+// been parsed and checked, so sweepCSV cannot fail.
+type sweepConfig struct {
+	names   []string // trimmed, duplicate-free, parallel to schemes
+	schemes []noc.Scheme
+	pattern noc.Pattern
+	size    int
+	seed    int64
+	rates   []float64
+	jobs    int
+	// Warmup/Measure/Drain override the RunSynthetic defaults when
+	// non-zero (tests shrink them; the CLI keeps the paper windows).
+	warmup, measure, drain int
+}
+
+// buildConfig turns raw flag values into a validated sweepConfig.
+func buildConfig(schemeList, patternName string, size int, seed int64, rateMin, rateMax, rateStep float64, jobs int) (sweepConfig, error) {
+	names, parsed, err := parseSchemes(schemeList)
+	if err != nil {
+		return sweepConfig{}, err
+	}
+	pattern, err := parsePattern(patternName)
+	if err != nil {
+		return sweepConfig{}, err
+	}
+	rates, err := buildRateGrid(rateMin, rateMax, rateStep)
+	if err != nil {
+		return sweepConfig{}, err
+	}
+	if size <= 0 {
+		return sweepConfig{}, fmt.Errorf("mesh dimension %d must be positive", size)
+	}
+	return sweepConfig{
+		names: names, schemes: parsed, pattern: pattern,
+		size: size, seed: seed, rates: rates, jobs: jobs,
+	}, nil
+}
+
+// parseSchemes splits a comma-separated scheme list, trimming each name
+// once so "FastPass, SPIN" keys its series (and CSV column) as "SPIN",
+// not " SPIN". Duplicates are rejected rather than silently overwritten.
+func parseSchemes(list string) ([]string, []noc.Scheme, error) {
+	var (
+		names   []string
+		schemes []noc.Scheme
+		seen    = map[string]bool{}
+	)
+	for _, raw := range strings.Split(list, ",") {
+		name := strings.TrimSpace(raw)
+		if name == "" {
+			return nil, nil, fmt.Errorf("empty scheme name in %q", list)
+		}
+		if seen[name] {
+			return nil, nil, fmt.Errorf("duplicate scheme %q in %q", name, list)
+		}
+		seen[name] = true
+		scheme, err := noc.ParseScheme(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		names = append(names, name)
+		schemes = append(schemes, scheme)
+	}
+	return names, schemes, nil
+}
+
+// parsePattern resolves a synthetic pattern by name.
+func parsePattern(name string) (noc.Pattern, error) {
 	for _, p := range noc.Patterns() {
-		if p.String() == *patternName {
-			pattern, found = p, true
+		if p.String() == name {
+			return p, nil
 		}
 	}
-	if !found {
-		log.Fatalf("unknown pattern %q", *patternName)
-	}
+	return 0, fmt.Errorf("unknown pattern %q", name)
+}
 
+// buildRateGrid expands [min, max] by step (with a tolerance so the
+// endpoint survives float accumulation). A non-positive step used to
+// hang the CLI in an infinite loop; it is rejected here instead.
+func buildRateGrid(min, max, step float64) ([]float64, error) {
+	if step <= 0 {
+		return nil, fmt.Errorf("rate step %v must be positive", step)
+	}
+	if min <= 0 || max < min {
+		return nil, fmt.Errorf("rate range [%v, %v] must be positive and ordered", min, max)
+	}
 	var rates []float64
-	for r := *rateMin; r <= *rateMax+1e-9; r += *rateStep {
+	for r := min; r <= max+1e-9; r += step {
 		rates = append(rates, math.Round(r*1000)/1000)
 	}
+	return rates, nil
+}
 
-	names := strings.Split(*schemes, ",")
-	series := make(map[string][]noc.SynthResult)
-	for _, name := range names {
-		scheme, err := noc.ParseScheme(strings.TrimSpace(name))
-		if err != nil {
-			log.Fatal(err)
-		}
+// sweepCSV runs every scheme's sweep (in parallel, each sweep itself
+// parallel over rates) and renders the CSV; saturated points are empty
+// cells.
+func sweepCSV(cfg sweepConfig) string {
+	series := parallel.Map(cfg.jobs, cfg.schemes, func(scheme noc.Scheme) []noc.SynthResult {
 		base := noc.SynthConfig{
-			Options: noc.Options{Scheme: scheme, W: *size, H: *size, Seed: *seed, DrainPeriod: 8192},
-			Pattern: pattern,
+			Options: noc.Options{Scheme: scheme, W: cfg.size, H: cfg.size, Seed: cfg.seed, DrainPeriod: 8192},
+			Pattern: cfg.pattern,
+			Warmup:  cfg.warmup, Measure: cfg.measure, Drain: cfg.drain,
 		}
-		series[name] = noc.SweepLatency(base, rates)
-		log.Printf("%s done", name)
-	}
+		return noc.SweepLatencyJobs(base, cfg.rates, cfg.jobs)
+	})
 
-	fmt.Printf("rate")
-	for _, name := range names {
-		fmt.Printf(",%s", name)
+	var b strings.Builder
+	b.WriteString("rate")
+	for _, name := range cfg.names {
+		b.WriteString("," + name)
 	}
-	fmt.Println()
-	for i, r := range rates {
-		fmt.Printf("%.3f", r)
-		for _, name := range names {
-			p := series[name][i]
+	b.WriteByte('\n')
+	for i, r := range cfg.rates {
+		fmt.Fprintf(&b, "%.3f", r)
+		for j := range cfg.names {
+			p := series[j][i]
 			if p.Saturated {
-				fmt.Printf(",")
+				b.WriteString(",")
 			} else {
-				fmt.Printf(",%.2f", p.AvgLatency)
+				fmt.Fprintf(&b, ",%.2f", p.AvgLatency)
 			}
 		}
-		fmt.Println()
+		b.WriteByte('\n')
 	}
+	return b.String()
 }

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestParseSchemes(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		list    string
+		want    []string
+		wantErr string
+	}{
+		{name: "plain", list: "FastPass,SPIN", want: []string{"FastPass", "SPIN"}},
+		{name: "trims spaces", list: "FastPass, SPIN ,\tEscapeVC", want: []string{"FastPass", "SPIN", "EscapeVC"}},
+		{name: "duplicate rejected", list: "FastPass,SPIN,FastPass", wantErr: "duplicate scheme"},
+		{name: "duplicate after trim rejected", list: "SPIN, SPIN", wantErr: "duplicate scheme"},
+		{name: "empty element", list: "FastPass,,SPIN", wantErr: "empty scheme"},
+		{name: "unknown scheme", list: "FastPass,NoSuch", wantErr: "NoSuch"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			names, schemes, err := parseSchemes(tc.list)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("error %v, want one mentioning %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(names) != len(tc.want) || len(schemes) != len(tc.want) {
+				t.Fatalf("got %v (%d schemes), want %v", names, len(schemes), tc.want)
+			}
+			for i := range tc.want {
+				if names[i] != tc.want[i] {
+					t.Errorf("name[%d] = %q, want %q", i, names[i], tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestBuildRateGrid(t *testing.T) {
+	for _, tc := range []struct {
+		name           string
+		min, max, step float64
+		want           []float64
+		wantErr        string
+	}{
+		{name: "plain", min: 0.02, max: 0.10, step: 0.04, want: []float64{0.02, 0.06, 0.1}},
+		{name: "endpoint survives float drift", min: 0.1, max: 0.3, step: 0.1, want: []float64{0.1, 0.2, 0.3}},
+		{name: "single point", min: 0.05, max: 0.05, step: 0.02, want: []float64{0.05}},
+		{name: "zero step rejected", min: 0.02, max: 0.3, step: 0, wantErr: "must be positive"},
+		{name: "negative step rejected", min: 0.02, max: 0.3, step: -0.01, wantErr: "must be positive"},
+		{name: "inverted range rejected", min: 0.3, max: 0.02, step: 0.02, wantErr: "ordered"},
+		{name: "non-positive min rejected", min: 0, max: 0.3, step: 0.02, wantErr: "positive"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := buildRateGrid(tc.min, tc.max, tc.step)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("error %v, want one mentioning %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("grid %v, want %v", got, tc.want)
+			}
+			for i := range tc.want {
+				if got[i] != tc.want[i] {
+					t.Errorf("rate[%d] = %v, want %v", i, got[i], tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestBuildConfigValidation(t *testing.T) {
+	if _, err := buildConfig("FastPass", "NoSuchPattern", 4, 1, 0.02, 0.1, 0.02, 1); err == nil {
+		t.Error("unknown pattern accepted")
+	}
+	if _, err := buildConfig("FastPass", "Uniform", 0, 1, 0.02, 0.1, 0.02, 1); err == nil {
+		t.Error("zero mesh accepted")
+	}
+	cfg, err := buildConfig(" FastPass , SPIN", "Transpose", 4, 9, 0.02, 0.1, 0.04, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.names[0] != "FastPass" || cfg.names[1] != "SPIN" || len(cfg.rates) != 3 {
+		t.Errorf("config %+v not normalized", cfg)
+	}
+}
+
+// quickSweepConfig is a deliberately tiny deterministic sweep used by
+// the golden and equivalence tests.
+func quickSweepConfig(jobs int) sweepConfig {
+	cfg, err := buildConfig("FastPass,EscapeVC,TFC", "Transpose", 4, 7, 0.02, 0.50, 0.12, jobs)
+	if err != nil {
+		panic("sweep: test config invalid: " + err.Error())
+	}
+	cfg.warmup, cfg.measure, cfg.drain = 300, 900, 600
+	return cfg
+}
+
+// TestSweepCSVGolden pins the full CSV output at quick scale. Refresh
+// with `go test ./cmd/sweep -run Golden -update` after an intentional
+// simulator change.
+func TestSweepCSVGolden(t *testing.T) {
+	got := sweepCSV(quickSweepConfig(1))
+	path := filepath.Join("testdata", "quick_sweep.golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("CSV drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestSweepCSVJobsEquivalence is the CLI-level determinism contract:
+// -j 1 and -j 8 must emit byte-identical CSV.
+func TestSweepCSVJobsEquivalence(t *testing.T) {
+	serial := sweepCSV(quickSweepConfig(1))
+	parallel8 := sweepCSV(quickSweepConfig(8))
+	if serial != parallel8 {
+		t.Errorf("-j 1 and -j 8 CSVs differ:\n--- -j 1 ---\n%s--- -j 8 ---\n%s", serial, parallel8)
+	}
+}

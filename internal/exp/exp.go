@@ -10,6 +10,7 @@ import (
 	"math"
 	"strings"
 
+	"repro/internal/parallel"
 	"repro/internal/sim"
 	"repro/internal/traffic"
 	"repro/internal/workload"
@@ -20,6 +21,10 @@ type Scale struct {
 	// Quick shrinks the mesh to 4×4 (8×8 stays for Fig. 8's scaling
 	// story), shortens windows, and thins rate grids.
 	Quick bool
+	// Jobs bounds the experiment fan-out (0 = one worker per core,
+	// 1 = serial). Every point is an independent simulation, so the
+	// figures are identical at any job count — only wall-clock changes.
+	Jobs int
 }
 
 // mesh returns the evaluation mesh size.
@@ -82,20 +87,24 @@ type Fig7Result struct {
 	SatRate map[string]float64
 }
 
-// Fig7 measures latency-vs-injection-rate for one pattern.
+// Fig7 measures latency-vs-injection-rate for one pattern. The schemes
+// fan out in parallel, and each scheme's sweep fans out over its rates.
 func Fig7(s Scale, pattern traffic.Pattern) Fig7Result {
 	rates := s.Fig7Rates()
+	schemes := Fig7Schemes()
+	sweeps := parallel.Map(s.Jobs, schemes, func(scheme sim.Scheme) []sim.SynthResult {
+		return sim.SweepLatencyJobs(s.base(scheme, pattern, 1), rates, s.Jobs)
+	})
 	res := Fig7Result{
 		Pattern: pattern,
 		Rates:   rates,
 		Series:  map[string][]float64{},
 		SatRate: map[string]float64{},
 	}
-	for _, scheme := range Fig7Schemes() {
-		points := sim.SweepLatency(s.base(scheme, pattern, 1), rates)
+	for i, scheme := range schemes {
 		var lat []float64
 		sat := -1.0
-		for _, p := range points {
+		for _, p := range sweeps[i] {
 			if p.Saturated {
 				lat = append(lat, math.NaN())
 				if sat < 0 {
@@ -157,20 +166,34 @@ type Fig8Result struct {
 }
 
 // Fig8 bisects saturation throughput across network sizes (Transpose,
-// Table II).
+// Table II). Every (scheme, size) bisection is independent, so the
+// whole matrix fans out at once.
 func Fig8(s Scale) Fig8Result {
 	res := Fig8Result{Sizes: s.Fig8Sizes(), Sat: map[string][]float64{}}
+	type cell struct {
+		scheme sim.Scheme
+		size   int
+	}
+	var cells []cell
 	for _, scheme := range Fig8Schemes() {
 		for _, size := range res.Sizes {
-			cfg := s.base(scheme, traffic.Transpose, 1)
-			cfg.W, cfg.H = size, size
-			if size >= 16 {
-				// Keep 256-node bisection tractable.
-				cfg.Warmup, cfg.Measure, cfg.Drain = 1000, 2500, 2000
-			}
-			_, thr := sim.SaturationThroughput(cfg, 0.01, 0.6, 6)
-			res.Sat[scheme.String()] = append(res.Sat[scheme.String()], thr)
+			cells = append(cells, cell{scheme: scheme, size: size})
 		}
+	}
+	thrs := parallel.Map(s.Jobs, cells, func(c cell) float64 {
+		cfg := s.base(c.scheme, traffic.Transpose, 1)
+		cfg.W, cfg.H = c.size, c.size
+		if c.size >= 16 {
+			// Keep 256-node bisection tractable.
+			cfg.Warmup, cfg.Measure, cfg.Drain = 1000, 2500, 2000
+		}
+		_, thr := sim.SaturationThroughputJobs(cfg, 0.01, 0.6, 6, s.Jobs)
+		return thr
+	})
+	// cells is scheme-major, so in-order appends rebuild each scheme's
+	// size axis in place.
+	for i, c := range cells {
+		res.Sat[c.scheme.String()] = append(res.Sat[c.scheme.String()], thrs[i])
 	}
 	return res
 }
@@ -212,8 +235,7 @@ func Fig9(s Scale) []Fig9Point {
 	if !s.Quick {
 		rates = append(rates, 0.13, 0.15)
 	}
-	var out []Fig9Point
-	for _, rate := range rates {
+	return parallel.Map(s.Jobs, rates, func(rate float64) Fig9Point {
 		cfg := s.base(sim.FastPass, traffic.Uniform, 1)
 		cfg.VCs = 1
 		cfg.Rate = rate
@@ -222,15 +244,14 @@ func Fig9(s Scale) []Fig9Point {
 		// reports FastPass-Packet splits "including post saturation").
 		cfg.Drain = 10 * cfg.Measure
 		r := sim.RunSynthetic(cfg)
-		out = append(out, Fig9Point{
+		return Fig9Point{
 			Rate:              rate,
 			RegularPktLatency: r.RegularLatency,
 			FastRegular:       r.FastSplitRegular,
 			FastBufferless:    r.FastSplitFast,
 			FastFraction:      r.FastFrac,
-		})
-	}
-	return out
+		}
+	})
 }
 
 // Fig9String renders the Fig. 9 table.
@@ -285,42 +306,51 @@ func (s Scale) Fig10Apps() []string {
 	return workload.Fig10Apps()
 }
 
-// Fig10 runs every app on every configuration. It also provides the
-// data for Fig. 12 (p99) and Fig. 13(b).
+// Fig10 runs every app on every configuration, fanning the (app,
+// scheme) matrix out in parallel. It also provides the data for Fig. 12
+// (p99) and Fig. 13(b).
 func Fig10(s Scale) []Fig10Cell {
-	var out []Fig10Cell
+	type task struct {
+		app string
+		fs  Fig10Scheme
+	}
+	var tasks []task
 	for _, appName := range s.Fig10Apps() {
-		app := workload.MustGet(appName)
+		for _, fs := range Fig10Matrix() {
+			tasks = append(tasks, task{app: appName, fs: fs})
+		}
+	}
+	return parallel.Map(s.Jobs, tasks, func(t task) Fig10Cell {
+		// MustGet returns a value, so the quick-mode quota tweak stays
+		// local to this worker.
+		app := workload.MustGet(t.app)
 		if s.Quick {
 			app.WorkQuota = 600
 		}
-		for _, fs := range Fig10Matrix() {
-			cfg := sim.AppConfig{
-				Options: sim.Options{
-					Scheme: fs.Scheme, W: s.mesh(), H: s.mesh(),
-					VCs: fs.VCs, Seed: 11,
-					// Application runs complete in a few thousand
-					// cycles — roughly 1000x shorter than the real
-					// executions the paper's 64K-cycle DRAIN period was
-					// set against — so the period scales down with them
-					// to keep the drains-per-run ratio comparable.
-					DrainPeriod: 512,
-				},
-				App: app,
-			}
-			if s.Quick {
-				cfg.MaxCycles = 250000
-			}
-			r := sim.RunApp(cfg)
-			out = append(out, Fig10Cell{
-				App: appName, Scheme: fs.Label,
-				AvgLatency: r.AvgLatency, P99Latency: r.P99Latency,
-				ExecTime: r.ExecTime, Timeout: r.Timeout,
-				RegularFrac: r.RegularFrac, FastFrac: r.FastFrac, DroppedFrac: r.DroppedFrac,
-			})
+		cfg := sim.AppConfig{
+			Options: sim.Options{
+				Scheme: t.fs.Scheme, W: s.mesh(), H: s.mesh(),
+				VCs: t.fs.VCs, Seed: 11,
+				// Application runs complete in a few thousand
+				// cycles — roughly 1000x shorter than the real
+				// executions the paper's 64K-cycle DRAIN period was
+				// set against — so the period scales down with them
+				// to keep the drains-per-run ratio comparable.
+				DrainPeriod: 512,
+			},
+			App: app,
 		}
-	}
-	return out
+		if s.Quick {
+			cfg.MaxCycles = 250000
+		}
+		r := sim.RunApp(cfg)
+		return Fig10Cell{
+			App: t.app, Scheme: t.fs.Label,
+			AvgLatency: r.AvgLatency, P99Latency: r.P99Latency,
+			ExecTime: r.ExecTime, Timeout: r.Timeout,
+			RegularFrac: r.RegularFrac, FastFrac: r.FastFrac, DroppedFrac: r.DroppedFrac,
+		}
+	})
 }
 
 // Fig10String renders latency and normalized execution time.
@@ -369,8 +399,7 @@ func Fig13a(s Scale) []Fig13Point {
 	if !s.Quick {
 		rates = append(rates, 0.14, 0.16)
 	}
-	var out []Fig13Point
-	for _, rate := range rates {
+	return parallel.Map(s.Jobs, rates, func(rate float64) Fig13Point {
 		cfg := s.base(sim.FastPass, traffic.Uniform, 1)
 		cfg.VCs = 1
 		cfg.Rate = rate
@@ -378,11 +407,10 @@ func Fig13a(s Scale) []Fig13Point {
 		// still classify (the dropped fraction is the point).
 		cfg.Drain = 10 * cfg.Measure
 		r := sim.RunSynthetic(cfg)
-		out = append(out, Fig13Point{
+		return Fig13Point{
 			Rate: rate, RegularFrac: r.RegularFrac, FastFrac: r.FastFrac, DroppedFrac: r.DroppedFrac,
-		})
-	}
-	return out
+		}
+	})
 }
 
 // Fig13aString renders Fig. 13(a).
@@ -402,8 +430,7 @@ func Fig13b(s Scale) []Fig10Cell {
 	if s.Quick {
 		apps = apps[:3]
 	}
-	var out []Fig10Cell
-	for _, appName := range apps {
+	return parallel.Map(s.Jobs, apps, func(appName string) Fig10Cell {
 		app := workload.MustGet(appName)
 		if s.Quick {
 			app.WorkQuota = 600
@@ -416,12 +443,11 @@ func Fig13b(s Scale) []Fig10Cell {
 			cfg.MaxCycles = 250000
 		}
 		r := sim.RunApp(cfg)
-		out = append(out, Fig10Cell{
+		return Fig10Cell{
 			App: appName, Scheme: "FastPass(VC=1)",
 			RegularFrac: r.RegularFrac, FastFrac: r.FastFrac, DroppedFrac: r.DroppedFrac,
-		})
-	}
-	return out
+		}
+	})
 }
 
 // Fig13bString renders Fig. 13(b).
@@ -493,8 +519,10 @@ func Ablations(s Scale) []AblationResult {
 			App: app,
 		}
 	}
-	base := sim.RunApp(appCfg(false))
-	abl := sim.RunApp(appCfg(true))
+	appPair := parallel.Map(s.Jobs, []bool{false, true}, func(drop bool) sim.AppResult {
+		return sim.RunApp(appCfg(drop))
+	})
+	base, abl := appPair[0], appPair[1]
 	appRow := func(r sim.AppResult) string {
 		return fmt.Sprintf("lat %8.1f  p99 %7.0f  exec %7d  dropFrac %.4f",
 			r.AvgLatency, r.P99Latency, r.ExecTime, r.DroppedFrac)
@@ -514,8 +542,8 @@ func Ablations(s Scale) []AblationResult {
 	syn.Drain = 10 * syn.Measure
 	synAbl := syn
 	synAbl.FPScanInjectionOnly = true
-	sb := sim.RunSynthetic(syn)
-	sa := sim.RunSynthetic(synAbl)
+	synPair := parallel.Map(s.Jobs, []sim.SynthConfig{syn, synAbl}, sim.RunSynthetic)
+	sb, sa := synPair[0], synPair[1]
 	synRow := func(r sim.SynthResult) string {
 		return fmt.Sprintf("delivered %5.1f%%  fastFrac %.3f  p99 %9.0f",
 			100*r.DeliveredFrac, r.FastFrac, r.P99Latency)
@@ -556,17 +584,15 @@ type VCPoint struct {
 // single VC — deadlock-free and with graceful throughput — while the
 // bypass baselines need several.
 func VCSensitivity(s Scale) []VCPoint {
-	var out []VCPoint
-	for _, vcs := range []int{1, 2, 4} {
+	return parallel.Map(s.Jobs, []int{1, 2, 4}, func(vcs int) VCPoint {
 		cfg := s.base(sim.FastPass, traffic.Uniform, 1)
 		cfg.VCs = vcs
 		low := cfg
 		low.Rate = 0.02
 		zero := sim.RunSynthetic(low)
-		rate, thr := sim.SaturationThroughput(cfg, 0.01, 0.4, 6)
-		out = append(out, VCPoint{VCs: vcs, SatRate: rate, SatThr: thr, ZeroLoad: zero.AvgLatency})
-	}
-	return out
+		rate, thr := sim.SaturationThroughputJobs(cfg, 0.01, 0.4, 6, s.Jobs)
+		return VCPoint{VCs: vcs, SatRate: rate, SatThr: thr, ZeroLoad: zero.AvgLatency}
+	})
 }
 
 // VCSensitivityString renders the VC sweep.

@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/parallel"
 	"repro/internal/sim"
 	"repro/internal/traffic"
 )
@@ -115,19 +116,34 @@ type HotspotPoint struct {
 
 // Hotspot sweeps the fraction of traffic converging on one node and
 // compares FastPass with EscapeVC and SWAP at a fixed offered rate.
+// The (fraction, scheme) grid fans out in parallel.
 func Hotspot(s Scale) []HotspotPoint {
 	schemes := []sim.Scheme{sim.EscapeVC, sim.SWAP, sim.FastPass}
+	fracs := []float64{0.05, 0.15, 0.30}
+	type task struct {
+		frac   float64
+		scheme sim.Scheme
+	}
+	var tasks []task
+	for _, frac := range fracs {
+		for _, scheme := range schemes {
+			tasks = append(tasks, task{frac: frac, scheme: scheme})
+		}
+	}
+	results := parallel.Map(s.Jobs, tasks, func(t task) sim.SynthResult {
+		cfg := s.base(t.scheme, traffic.Hotspot, 1)
+		cfg.Rate = 0.04
+		return runHotspot(cfg, t.frac)
+	})
 	var out []HotspotPoint
-	for _, frac := range []float64{0.05, 0.15, 0.30} {
+	for i, frac := range fracs {
 		pt := HotspotPoint{
 			HotFraction: frac,
 			Latency:     map[string]float64{},
 			Saturated:   map[string]bool{},
 		}
-		for _, scheme := range schemes {
-			cfg := s.base(scheme, traffic.Hotspot, 1)
-			cfg.Rate = 0.04
-			res := runHotspot(cfg, frac)
+		for j, scheme := range schemes {
+			res := results[i*len(schemes)+j]
 			pt.Latency[scheme.String()] = res.AvgLatency
 			pt.Saturated[scheme.String()] = res.Saturated
 		}
@@ -182,15 +198,16 @@ func KSensitivity(s Scale) []KPoint {
 	diameter := 2 * (mesh - 1)
 	formula := 2 * diameter * 5 * 1 // 1 VC
 	floor := 2*diameter + 2*5 + 4
-	var out []KPoint
-	for _, cfg := range []struct {
+	type kVariant struct {
 		k     int
 		label string
-	}{
+	}
+	variants := []kVariant{
 		{floor, "round-trip floor"},
 		{formula, "paper formula"},
 		{2 * formula, "2x formula"},
-	} {
+	}
+	return parallel.Map(s.Jobs, variants, func(cfg kVariant) KPoint {
 		c := s.base(sim.FastPass, traffic.Uniform, 1)
 		c.VCs = 1
 		// 0.03 sits below the 1-VC saturation cliff (~0.04), where the
@@ -199,12 +216,11 @@ func KSensitivity(s Scale) []KPoint {
 		c.FastPassK = cfg.k
 		c.Drain = 10 * c.Measure
 		r := sim.RunSynthetic(c)
-		out = append(out, KPoint{
+		return KPoint{
 			K: cfg.k, Label: cfg.label,
 			AvgLatency: r.AvgLatency, FastFrac: r.FastFrac, Saturated: r.Saturated,
-		})
-	}
-	return out
+		}
+	})
 }
 
 // KSensitivityString renders the K sweep.

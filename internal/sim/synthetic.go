@@ -1,8 +1,10 @@
 package sim
 
 import (
+	"math"
 	"math/rand"
 
+	"repro/internal/parallel"
 	"repro/internal/stats"
 	"repro/internal/traffic"
 )
@@ -115,36 +117,104 @@ func RunSynthetic(cfg SynthConfig) SynthResult {
 }
 
 // SweepLatency measures a latency-vs-injection-rate curve (one Fig. 7
-// series). It stops two points after saturation to bound runtime; the
-// remaining rates are reported as saturated points with the last
-// measured latency.
+// series) on all cores. It is SweepLatencyJobs with jobs = 0.
 func SweepLatency(base SynthConfig, rates []float64) []SynthResult {
-	var out []SynthResult
-	saturatedFor := 0
-	for _, r := range rates {
-		if saturatedFor >= 2 {
-			last := out[len(out)-1]
-			last.Rate = r
-			last.Saturated = true
-			out = append(out, last)
-			continue
-		}
+	return SweepLatencyJobs(base, rates, 0)
+}
+
+// SweepLatencyJobs measures the curve with the given worker count
+// (0 = one worker per core, 1 = serial). Every point is independent, so
+// the parallel path speculatively runs all rates at once and applies
+// the stop-two-after-saturation rule as a post-pass; the serial path
+// keeps the historical early-stop loop and never simulates past the
+// cutoff. Both paths emit field-identical results for the same seed —
+// the determinism contract the parallel runner rests on.
+//
+// Rates two past the first sustained saturation are reported as inert
+// padded points: Saturated is set, latencies are NaN ("no samples") and
+// counters are zero, exactly as a run that delivered nothing would
+// report — never a stale copy of the last measured point.
+func SweepLatencyJobs(base SynthConfig, rates []float64, jobs int) []SynthResult {
+	point := func(r float64) SynthResult {
 		cfg := base
 		cfg.Rate = r
-		res := RunSynthetic(cfg)
-		out = append(out, res)
-		if res.Saturated {
+		return RunSynthetic(cfg)
+	}
+	var out []SynthResult
+	if parallel.Workers(jobs) == 1 {
+		out = make([]SynthResult, len(rates))
+		saturatedFor := 0
+		for i, r := range rates {
+			if saturatedFor >= 2 {
+				break // the post-pass pads the rest
+			}
+			out[i] = point(r)
+			if out[i].Saturated {
+				saturatedFor++
+			} else {
+				saturatedFor = 0
+			}
+		}
+	} else {
+		out = parallel.Map(jobs, rates, point)
+	}
+	padPostSaturation(base, rates, out)
+	return out
+}
+
+// padPostSaturation rewrites every point two past the first sustained
+// saturation as a padded point. It recomputes the early-stop rule from
+// the measured results, so it reaches the same cutoff whether the tail
+// was skipped (serial) or speculatively simulated (parallel).
+func padPostSaturation(base SynthConfig, rates []float64, out []SynthResult) {
+	saturatedFor := 0
+	for i := range out {
+		if saturatedFor >= 2 {
+			out[i] = paddedPoint(base, rates[i])
+			continue
+		}
+		if out[i].Saturated {
 			saturatedFor++
 		} else {
 			saturatedFor = 0
 		}
 	}
-	return out
+}
+
+// paddedPoint is the inert stand-in for a rate that was never
+// simulated: identity fields and the Saturated marker are set, every
+// measurement matches what an empty collector reports — NaN ("no
+// samples") for the latency means, zero for counts and fractions.
+func paddedPoint(base SynthConfig, rate float64) SynthResult {
+	nan := math.NaN()
+	return SynthResult{
+		Scheme:           base.Scheme,
+		Pattern:          base.Pattern,
+		Rate:             rate,
+		AvgLatency:       nan,
+		P99Latency:       nan,
+		FastSplitRegular: nan,
+		FastSplitFast:    nan,
+		RegularLatency:   nan,
+		Saturated:        true,
+	}
 }
 
 // SaturationThroughput bisects the highest non-saturated injection rate
-// and returns the accepted throughput there (a Fig. 8 bar).
+// and returns the accepted throughput there (a Fig. 8 bar), probing on
+// all cores. It is SaturationThroughputJobs with jobs = 0.
 func SaturationThroughput(base SynthConfig, lo, hi float64, iters int) (rate float64, throughput float64) {
+	return SaturationThroughputJobs(base, lo, hi, iters, 0)
+}
+
+// SaturationThroughputJobs is the bisection with an explicit worker
+// count (0 = one worker per core, 1 = serial). Only the bracket phase
+// is parallel — the two endpoint probes are independent, so they run
+// together — while the bisection itself stays sequential: each midpoint
+// depends on the previous verdict. Results are identical at any worker
+// count; with more than one worker the hi probe is simply speculative
+// when lo turns out saturated.
+func SaturationThroughputJobs(base SynthConfig, lo, hi float64, iters, jobs int) (rate float64, throughput float64) {
 	if iters == 0 {
 		iters = 7
 	}
@@ -154,11 +224,29 @@ func SaturationThroughput(base SynthConfig, lo, hi float64, iters int) (rate flo
 		res := RunSynthetic(cfg)
 		return !res.Saturated, res.Throughput
 	}
-	okLo, thrLo := check(lo)
+	var okLo, okHi bool
+	var thrLo, thrHi float64
+	if parallel.Workers(jobs) > 1 {
+		type probe struct {
+			ok  bool
+			thr float64
+		}
+		brackets := parallel.Map(jobs, []float64{lo, hi}, func(r float64) probe {
+			ok, thr := check(r)
+			return probe{ok: ok, thr: thr}
+		})
+		okLo, thrLo = brackets[0].ok, brackets[0].thr
+		okHi, thrHi = brackets[1].ok, brackets[1].thr
+	} else {
+		okLo, thrLo = check(lo)
+		if okLo {
+			okHi, thrHi = check(hi)
+		}
+	}
 	if !okLo {
 		return lo, 0
 	}
-	if okHi, thrHi := check(hi); okHi {
+	if okHi {
 		return hi, thrHi
 	}
 	bestRate, bestThr := lo, thrLo

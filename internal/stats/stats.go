@@ -21,6 +21,11 @@ type Collector struct {
 	MeasStart, MeasEnd int64
 
 	latencies []int64
+	// sorted caches an ascending copy of latencies for Percentile, so
+	// repeated quantile reads cost one sort instead of one per call;
+	// OnEject invalidates it (sortedStale) instead of re-sorting.
+	sorted      []int64
+	sortedStale bool
 	// fastSplit records (regular, fast) cycle splits for measured
 	// FastPass packets; regOnly holds latencies of never-promoted
 	// packets (Fig. 9's "regular packets" series).
@@ -66,6 +71,7 @@ func (c *Collector) OnEject(pkt *message.Packet) {
 	}
 	lat := pkt.Latency()
 	c.latencies = append(c.latencies, lat)
+	c.sortedStale = true
 	switch {
 	case pkt.Dropped > 0:
 		c.droppedPkts++
@@ -97,21 +103,27 @@ func (c *Collector) MeasuredCreated() int64 { return c.created }
 func (c *Collector) MeanLatency() float64 { return mean(c.latencies) }
 
 // Percentile returns the p-quantile (0 < p <= 1) of measured latencies
-// by nearest-rank, or NaN with no samples. Fig. 12 uses p = 0.99.
+// by nearest-rank, or NaN with no samples. Fig. 12 uses p = 0.99. The
+// sorted view is cached across calls and rebuilt only after new
+// ejections, so interleaving Percentile reads with OnEject stays
+// correct and repeated reads stay cheap.
 func (c *Collector) Percentile(p float64) float64 {
 	if len(c.latencies) == 0 {
 		return math.NaN()
 	}
-	s := append([]int64(nil), c.latencies...)
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-	idx := int(math.Ceil(p*float64(len(s)))) - 1
+	if c.sortedStale || len(c.sorted) != len(c.latencies) {
+		c.sorted = append(c.sorted[:0], c.latencies...)
+		sort.Slice(c.sorted, func(i, j int) bool { return c.sorted[i] < c.sorted[j] })
+		c.sortedStale = false
+	}
+	idx := int(math.Ceil(p*float64(len(c.sorted)))) - 1
 	if idx < 0 {
 		idx = 0
 	}
-	if idx >= len(s) {
-		idx = len(s) - 1
+	if idx >= len(c.sorted) {
+		idx = len(c.sorted) - 1
 	}
-	return float64(s[idx])
+	return float64(c.sorted[idx])
 }
 
 // Throughput is the accepted traffic in packets/node/cycle during the

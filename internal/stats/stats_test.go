@@ -146,3 +146,35 @@ func TestQuantiles(t *testing.T) {
 		t.Error("empty quantiles should be NaN")
 	}
 }
+
+// TestPercentileInterleavedWithEjects covers the lazy-sort cache:
+// Percentile and MeanLatency reads interleaved with OnEject appends
+// must match a freshly-built collector at every step, including reads
+// repeated back-to-back (cache hit) and reads straight after an append
+// (cache invalidated).
+func TestPercentileInterleavedWithEjects(t *testing.T) {
+	// Deliberately unsorted arrivals so a stale cache would show.
+	lats := []int64{70, 10, 90, 30, 50, 20, 80, 40, 60, 5}
+	c := New(4, 0, 1000)
+	for i, lat := range lats {
+		eject(c, uint64(i), 10, 10+lat, message.Regular, 0, 0)
+		// Reference collector rebuilt from scratch over the same prefix.
+		ref := New(4, 0, 1000)
+		for j := 0; j <= i; j++ {
+			eject(ref, uint64(j), 10, 10+lats[j], message.Regular, 0, 0)
+		}
+		for _, p := range []float64{0.5, 0.9, 0.99, 1.0} {
+			got, want := c.Percentile(p), ref.Percentile(p)
+			if got != want {
+				t.Fatalf("after %d ejects: p%v = %v, want %v", i+1, 100*p, got, want)
+			}
+			// Immediate re-read exercises the cached path.
+			if again := c.Percentile(p); again != got {
+				t.Fatalf("after %d ejects: repeated p%v read changed: %v then %v", i+1, 100*p, got, again)
+			}
+		}
+		if got, want := c.MeanLatency(), ref.MeanLatency(); got != want {
+			t.Fatalf("after %d ejects: mean = %v, want %v", i+1, got, want)
+		}
+	}
+}

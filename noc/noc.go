@@ -75,15 +75,29 @@ type (
 func RunSynthetic(cfg SynthConfig) SynthResult { return sim.RunSynthetic(cfg) }
 
 // SweepLatency measures a latency-vs-injection-rate curve (a Fig. 7
-// series).
+// series) on all cores. Results are deterministic: the same seed yields
+// bit-identical curves at any parallelism.
 func SweepLatency(base SynthConfig, rates []float64) []SynthResult {
 	return sim.SweepLatency(base, rates)
 }
 
+// SweepLatencyJobs is SweepLatency with an explicit worker count
+// (0 = one worker per core, 1 = serial).
+func SweepLatencyJobs(base SynthConfig, rates []float64, jobs int) []SynthResult {
+	return sim.SweepLatencyJobs(base, rates, jobs)
+}
+
 // SaturationThroughput bisects the highest non-saturated rate and
-// returns the accepted throughput there (a Fig. 8 bar).
+// returns the accepted throughput there (a Fig. 8 bar), probing the
+// brackets on all cores.
 func SaturationThroughput(base SynthConfig, lo, hi float64, iters int) (rate, throughput float64) {
 	return sim.SaturationThroughput(base, lo, hi, iters)
+}
+
+// SaturationThroughputJobs is SaturationThroughput with an explicit
+// worker count (0 = one worker per core, 1 = serial).
+func SaturationThroughputJobs(base SynthConfig, lo, hi float64, iters, jobs int) (rate, throughput float64) {
+	return sim.SaturationThroughputJobs(base, lo, hi, iters, jobs)
 }
 
 // App is a named application workload profile.
