@@ -1,0 +1,62 @@
+// Alloc-regression guard for the hot-path refactor (ISSUE 3): at steady
+// state, simulating a cycle must not touch the allocator. The packet
+// arena, ring-buffer queues, entry free lists and active-set scheduler
+// together make this possible; any change that reintroduces a per-cycle
+// allocation (an append-prepend, a per-cycle make, an unguarded
+// fmt.Sprintf) fails here immediately rather than showing up as a slow
+// drift in benchmark numbers.
+package repro_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/traffic"
+	"repro/noc"
+)
+
+// steadyStateAllocBudget tolerates the amortised capacity growth that is
+// not per-cycle work: a ring or free list doubling once every few
+// thousand cycles shows up as a small fraction here, while a true
+// per-cycle allocation is >= 1.0.
+const steadyStateAllocBudget = 0.05
+
+func measureSteadyStateAllocs(t *testing.T, scheme noc.Scheme, w, h int, rate float64) float64 {
+	t.Helper()
+	inst := sim.Build(sim.Options{Scheme: scheme, W: w, H: h, Seed: 1})
+	gen := &traffic.Generator{Pattern: traffic.Uniform, Rate: rate, W: w, H: h, Pool: inst.UsePool()}
+	rng := rand.New(rand.NewSource(0x5eed))
+	tick := func() {
+		for _, pkt := range gen.Tick(inst.Cycle(), rng) {
+			inst.Enqueue(pkt)
+		}
+		inst.Step()
+	}
+	for c := 0; c < 8000; c++ {
+		tick()
+	}
+	return testing.AllocsPerRun(300, tick)
+}
+
+func TestSteadyStateZeroAllocsPerCycle(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; run the guard without -race")
+	}
+	cases := []struct {
+		name   string
+		scheme noc.Scheme
+		rate   float64
+	}{
+		{"FastPass/uniform", noc.FastPass, 0.10},
+		{"FastPass/idle", noc.FastPass, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := measureSteadyStateAllocs(t, tc.scheme, 4, 4, tc.rate); got > steadyStateAllocBudget {
+				t.Errorf("steady-state cycle allocates %.3f times on average, want ~0 (budget %.2f)",
+					got, steadyStateAllocBudget)
+			}
+		})
+	}
+}

@@ -1,0 +1,153 @@
+// Command benchhot measures the hot-path cycle kernel — the same
+// scenarios as the BenchmarkStep* benchmarks — and emits the results as
+// machine-readable JSON (BENCH_hotpath.json), so the repo's perf
+// trajectory is recorded alongside the code instead of living in
+// someone's terminal scrollback.
+//
+// Usage:
+//
+//	benchhot                         # print JSON to stdout
+//	benchhot -benchjson BENCH_hotpath.json
+//	benchhot -benchtime 2s -scenario StepUniform/8x8
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/traffic"
+	"repro/noc"
+)
+
+// warmupCycles matches stepBenchWarmup in hotpath_bench_test.go: steady
+// state is what the hot-path contract is about.
+const warmupCycles = 2000
+
+// scenario is one benchmarked configuration.
+type scenario struct {
+	Name   string  `json:"name"`
+	Scheme string  `json:"scheme"`
+	W      int     `json:"w"`
+	H      int     `json:"h"`
+	Rate   float64 `json:"rate"`
+
+	NsPerCycle     float64 `json:"ns_per_cycle"`
+	CyclesPerSec   float64 `json:"cycles_per_sec"`
+	BytesPerCycle  int64   `json:"bytes_per_cycle"`
+	AllocsPerCycle int64   `json:"allocs_per_cycle"`
+	Cycles         int64   `json:"cycles"`
+}
+
+// report is the top-level JSON document.
+type report struct {
+	Benchtime string     `json:"benchtime"`
+	Scenarios []scenario `json:"scenarios"`
+}
+
+func scenarios() []scenario {
+	return []scenario{
+		{Name: "StepUniform/4x4", Scheme: "FastPass", W: 4, H: 4, Rate: 0.10},
+		{Name: "StepUniform/8x8", Scheme: "FastPass", W: 8, H: 8, Rate: 0.10},
+		{Name: "StepLowLoad/4x4", Scheme: "FastPass", W: 4, H: 4, Rate: 0.02},
+		{Name: "StepLowLoad/8x8", Scheme: "FastPass", W: 8, H: 8, Rate: 0.02},
+		{Name: "StepIdle/4x4", Scheme: "FastPass", W: 4, H: 4, Rate: 0},
+		{Name: "StepIdle/8x8", Scheme: "FastPass", W: 8, H: 8, Rate: 0},
+		{Name: "StepUniformEscapeVC/8x8", Scheme: "EscapeVC", W: 8, H: 8, Rate: 0.10},
+	}
+}
+
+func schemeByName(name string) noc.Scheme {
+	s, err := noc.ParseScheme(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return s
+}
+
+// measure runs one scenario under testing.Benchmark and fills in its
+// result fields.
+func measure(sc *scenario) {
+	scheme := schemeByName(sc.Scheme)
+	res := testing.Benchmark(func(b *testing.B) {
+		inst := sim.Build(sim.Options{Scheme: scheme, W: sc.W, H: sc.H, Seed: 1})
+		gen := &traffic.Generator{
+			Pattern: traffic.Uniform, Rate: sc.Rate, W: sc.W, H: sc.H,
+			Pool: inst.UsePool(),
+		}
+		rng := rand.New(rand.NewSource(0x5eed))
+		tick := func() {
+			for _, pkt := range gen.Tick(inst.Cycle(), rng) {
+				inst.Enqueue(pkt)
+			}
+			inst.Step()
+		}
+		for c := 0; c < warmupCycles; c++ {
+			tick()
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tick()
+		}
+	})
+	sc.Cycles = int64(res.N)
+	sc.NsPerCycle = float64(res.NsPerOp())
+	if res.T > 0 {
+		sc.CyclesPerSec = float64(res.N) / res.T.Seconds()
+	}
+	sc.BytesPerCycle = res.AllocedBytesPerOp()
+	sc.AllocsPerCycle = res.AllocsPerOp()
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchhot: ")
+
+	// testing.Benchmark honours -test.benchtime; register the testing
+	// flags up front so it can be set from our own -benchtime flag.
+	testing.Init()
+	out := flag.String("benchjson", "", "write the JSON report to this file (default: stdout)")
+	benchtime := flag.Duration("benchtime", time.Second, "minimum measurement time per scenario")
+	filter := flag.String("scenario", "", "only run scenarios whose name contains this substring")
+	flag.Parse()
+
+	if err := flag.CommandLine.Set("test.benchtime", benchtime.String()); err != nil {
+		log.Fatalf("setting benchtime: %v", err)
+	}
+
+	rep := report{Benchtime: benchtime.String()}
+	for _, sc := range scenarios() {
+		if *filter != "" && !strings.Contains(sc.Name, *filter) {
+			continue
+		}
+		measure(&sc)
+		fmt.Fprintf(os.Stderr, "%-28s %12.0f ns/cycle %14.0f cycles/sec %6d B/cycle %4d allocs/cycle\n",
+			sc.Name, sc.NsPerCycle, sc.CyclesPerSec, sc.BytesPerCycle, sc.AllocsPerCycle)
+		rep.Scenarios = append(rep.Scenarios, sc)
+	}
+	if len(rep.Scenarios) == 0 {
+		log.Fatalf("no scenario matches %q", *filter)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatalf("encoding report: %v", err)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		log.Fatalf("writing %s: %v", *out, err)
+	}
+	log.Printf("wrote %s (%d scenarios)", *out, len(rep.Scenarios))
+}

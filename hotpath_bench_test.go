@@ -1,0 +1,76 @@
+// Hot-path benchmarks for the per-cycle simulation kernel: Network.Step
+// plus NIC ticks and controller PreCycle work, without any measurement
+// collector attached. These are the numbers the arena/ring-buffer/
+// active-set refactor is held to (ISSUE 3): run with
+//
+//	go test -bench 'BenchmarkStep' -benchmem
+//
+// ns/op is nanoseconds per simulated cycle; the cycles/sec metric is its
+// reciprocal. cmd/benchhot re-runs these scenarios programmatically and
+// records them in BENCH_hotpath.json so the repo's perf trajectory is
+// tracked across PRs.
+package repro_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/traffic"
+	"repro/noc"
+)
+
+// stepBenchWarmup is the number of cycles simulated before timing so the
+// benchmark measures steady state (queues, pools and rings warm).
+const stepBenchWarmup = 2000
+
+// runStepBench drives the raw inject+step loop at the given offered rate.
+func runStepBench(b *testing.B, scheme noc.Scheme, w, h int, rate float64) {
+	b.Helper()
+	inst := sim.Build(sim.Options{Scheme: scheme, W: w, H: h, Seed: 1})
+	gen := &traffic.Generator{Pattern: traffic.Uniform, Rate: rate, W: w, H: h, Pool: inst.UsePool()}
+	rng := rand.New(rand.NewSource(0x5eed))
+	tick := func() {
+		for _, pkt := range gen.Tick(inst.Cycle(), rng) {
+			inst.Enqueue(pkt)
+		}
+		inst.Step()
+	}
+	for c := 0; c < stepBenchWarmup; c++ {
+		tick()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tick()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cycles/sec")
+}
+
+// BenchmarkStepUniform is the Fig. 7 uniform point of the hot-path
+// contract: FastPass under moderate uniform load.
+func BenchmarkStepUniform(b *testing.B) {
+	b.Run("4x4", func(b *testing.B) { runStepBench(b, noc.FastPass, 4, 4, 0.10) })
+	b.Run("8x8", func(b *testing.B) { runStepBench(b, noc.FastPass, 8, 8, 0.10) })
+}
+
+// BenchmarkStepLowLoad measures the scan-everything overhead the
+// active-set scheduler removes: 2% injection leaves most routers idle.
+func BenchmarkStepLowLoad(b *testing.B) {
+	b.Run("4x4", func(b *testing.B) { runStepBench(b, noc.FastPass, 4, 4, 0.02) })
+	b.Run("8x8", func(b *testing.B) { runStepBench(b, noc.FastPass, 8, 8, 0.02) })
+}
+
+// BenchmarkStepIdle measures a completely empty network: the cost floor
+// of one cycle when nothing is in flight.
+func BenchmarkStepIdle(b *testing.B) {
+	b.Run("4x4", func(b *testing.B) { runStepBench(b, noc.FastPass, 4, 4, 0) })
+	b.Run("8x8", func(b *testing.B) { runStepBench(b, noc.FastPass, 8, 8, 0) })
+}
+
+// BenchmarkStepUniformEscapeVC covers the plain-router path (no bypass
+// controller): the baseline schemes share this kernel.
+func BenchmarkStepUniformEscapeVC(b *testing.B) {
+	b.Run("8x8", func(b *testing.B) { runStepBench(b, noc.EscapeVC, 8, 8, 0.10) })
+}

@@ -105,7 +105,10 @@ func (c *Controller) PreCycle(n *network.Network) {
 	for node := range c.pits {
 		c.reinject(n, node, active)
 	}
-	for _, r := range n.Routers {
+	// Only routers holding packets can have an absorbable head; the
+	// active set visits exactly those, in the same ascending order a
+	// full scan would.
+	for r := range n.ActiveRouters() {
 		c.absorb(n, r, active, cycle)
 	}
 }

@@ -119,8 +119,10 @@ func (c *Controller) PreCycle(n *network.Network) {
 		c.executeSpin(n, ps)
 	}
 	c.pending = keep
-	// Launch probes from routers with long-blocked heads.
-	for _, r := range n.Routers {
+	// Launch probes from routers with long-blocked heads. Empty routers
+	// cannot have one, so the scan covers only the active set (same
+	// ascending order as the historical full scan).
+	for r := range n.ActiveRouters() {
 		if cycle-c.lastProbe[r.ID] < c.prm.Cooldown {
 			continue
 		}

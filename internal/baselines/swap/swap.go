@@ -89,7 +89,9 @@ func (c *Controller) PreCycle(n *network.Network) {
 	if cycle == 0 || cycle%c.prm.Duty != 0 {
 		return
 	}
-	for _, r := range n.Routers {
+	// Empty routers have no heads to resolve; sweep only the active
+	// set (ascending order, identical to the historical full scan).
+	for r := range n.ActiveRouters() {
 		c.sweepRouter(n, r)
 	}
 }

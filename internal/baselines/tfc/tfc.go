@@ -84,7 +84,9 @@ func (c *Controller) PostCycle(*network.Network) {}
 // PreCycle implements network.Controller: grant at most one token
 // bypass per router per cycle.
 func (c *Controller) PreCycle(n *network.Network) {
-	for _, r := range n.Routers {
+	// Token bypass needs a buffered head; only active routers can have
+	// one (ascending order, identical to the historical full scan).
+	for r := range n.ActiveRouters() {
 		c.bypassOne(n, r)
 	}
 }

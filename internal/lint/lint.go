@@ -14,6 +14,10 @@
 //	             of cycle-derived values
 //	panicstyle — panic messages carry the "<pkg>: " prefix so
 //	             invariant violations are attributable
+//	hotalloc   — no append-prepend copies or per-cycle make calls in
+//	             the hot-path packages (internal/{nic,router,network});
+//	             the steady-state zero-allocs-per-cycle contract
+//	             depends on it
 //
 // Findings can be silenced with a `//nocvet:ignore <rule> <reason>`
 // comment on the offending line or the line directly above it. The
@@ -53,7 +57,7 @@ type Analyzer interface {
 
 // All returns the full analyzer suite in report order.
 func All() []Analyzer {
-	return []Analyzer{DetRand{}, MapOrder{}, CycleWidth{}, PanicStyle{}}
+	return []Analyzer{DetRand{}, MapOrder{}, CycleWidth{}, PanicStyle{}, HotAlloc{}}
 }
 
 // ByName resolves a comma-separated rule list ("detrand,panicstyle").

@@ -123,6 +123,17 @@ func TestDetRandScopedToInternal(t *testing.T) {
 	}
 }
 
+// TestHotAllocScopedToHotPath: the rule only bites in the hot-path
+// packages; measurement, baselines and cmd code may allocate at will.
+func TestHotAllocScopedToHotPath(t *testing.T) {
+	for _, path := range []string{"repro/internal/fastpass", "repro/internal/sim", "repro/cmd/nocsim"} {
+		p := &Package{Path: path}
+		if fs := (HotAlloc{}).Run(p); fs != nil {
+			t.Errorf("hotalloc ran on %s: %v", path, fs)
+		}
+	}
+}
+
 // TestDriverExitCodes exercises cmd/nocvet's in-process entry point.
 func TestDriverExitCodes(t *testing.T) {
 	run := func(args ...string) (int, string, string) {

@@ -110,6 +110,11 @@ type Packet struct {
 
 	// Hops counts link traversals, for sanity checks on minimal routing.
 	Hops int
+
+	// recycled marks a packet currently resting in a Pool's free list.
+	// It exists purely as the arena's use-after-free guard: Put sets it,
+	// Get clears it, and both panic when the marker contradicts them.
+	recycled bool
 }
 
 // NewPacket constructs a packet created at the given cycle, with

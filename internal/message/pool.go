@@ -1,0 +1,74 @@
+package message
+
+import "fmt"
+
+// Pool is a per-simulation packet arena: a free list that recycles
+// Packet structs instead of leaving every delivered packet to the
+// garbage collector. One simulation allocates only its high-water mark
+// of in-flight packets; at steady state Get and Put touch no allocator.
+//
+// Pools are deliberately not concurrency-safe: a simulation is
+// single-threaded by design (the parallel experiment runner shards
+// across *simulations*, each with its own Pool).
+//
+// Hygiene contract: a recycled packet is indistinguishable from a
+// freshly constructed one. Put resets every field, and Get verifies the
+// reset actually held — a packet mutated after release (use-after-free)
+// or a Put that misses a future field fails loudly at the next Get
+// instead of leaking a previous life's ID, flags or timestamps into a
+// new one.
+type Pool struct {
+	free []*Packet
+
+	// Gets, Puts and News count pool traffic (News ≤ Gets is the arena
+	// working; News == Gets means nothing was ever recycled).
+	Gets, Puts, News int64
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool { return &Pool{} }
+
+// blank is what a released packet must still look like when it is
+// handed out again: all zero except the recycled marker.
+var blank = Packet{recycled: true}
+
+// Get returns a packet initialised exactly as NewPacket would build it.
+func (pl *Pool) Get(id uint64, src, dst int, class Class, flits int, cycle int64) *Packet {
+	pl.Gets++
+	if n := len(pl.free); n > 0 {
+		p := pl.free[n-1]
+		pl.free[n-1] = nil
+		pl.free = pl.free[:n-1]
+		if *p != blank {
+			panic(fmt.Sprintf("message: pooled packet dirtied after release (%+v)", *p))
+		}
+		if flits < 1 {
+			panic(fmt.Sprintf("message: packet %d with %d flits", id, flits))
+		}
+		p.ID, p.Src, p.Dst, p.Class, p.Len = id, src, dst, class, flits
+		p.CreateTime, p.InjectTime, p.EjectTime = cycle, -1, -1
+		p.recycled = false
+		return p
+	}
+	pl.News++
+	return NewPacket(id, src, dst, class, flits, cycle)
+}
+
+// Put releases a packet back to the arena. The caller must hold the
+// only live reference; the packet is fully reset so no field of its
+// previous life can leak into the next. Releasing the same packet twice
+// without an intervening Get panics.
+func (pl *Pool) Put(p *Packet) {
+	if p == nil {
+		return
+	}
+	if p.recycled {
+		panic(fmt.Sprintf("message: double release of packet %d", p.ID))
+	}
+	*p = blank
+	pl.free = append(pl.free, p)
+	pl.Puts++
+}
+
+// FreeLen reports the current free-list depth (diagnostics).
+func (pl *Pool) FreeLen() int { return len(pl.free) }

@@ -1,0 +1,115 @@
+package message
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPoolRecyclesAndCounts(t *testing.T) {
+	pl := NewPool()
+	a := pl.Get(1, 0, 3, Request, 5, 10)
+	b := pl.Get(2, 1, 2, Response, 1, 11)
+	pl.Put(a)
+	c := pl.Get(3, 2, 0, WriteBack, 3, 12)
+	if c != a {
+		t.Error("pool did not hand back the released packet")
+	}
+	if pl.News != 2 || pl.Gets != 3 || pl.Puts != 1 {
+		t.Errorf("counters News/Gets/Puts = %d/%d/%d, want 2/3/1", pl.News, pl.Gets, pl.Puts)
+	}
+	pl.Put(b)
+	pl.Put(c)
+	if pl.FreeLen() != 2 {
+		t.Errorf("FreeLen = %d, want 2", pl.FreeLen())
+	}
+}
+
+func TestPoolDoublePutPanics(t *testing.T) {
+	pl := NewPool()
+	p := pl.Get(1, 0, 1, Request, 1, 0)
+	pl.Put(p)
+	defer func() {
+		if recover() == nil {
+			t.Error("double Put did not panic")
+		}
+	}()
+	pl.Put(p)
+}
+
+func TestPoolDetectsMutationAfterRelease(t *testing.T) {
+	pl := NewPool()
+	p := pl.Get(1, 0, 1, Request, 1, 0)
+	pl.Put(p)
+	p.Hops = 3 // use-after-free
+	defer func() {
+		if recover() == nil {
+			t.Error("Get handed out a packet dirtied after release")
+		}
+	}()
+	pl.Get(2, 0, 1, Request, 1, 0)
+}
+
+// TestPoolHygieneFuzz is the arena's stale-field-leak guard: across
+// thousands of simulated inject/eject/recycle lives, a recycled packet
+// must be field-for-field identical to a freshly allocated one — no
+// previous life's ID, TxnID, kind, flags, timestamps, or counters may
+// survive. The in-flight phase mutates every mutable field the
+// simulator touches.
+func TestPoolHygieneFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	pl := NewPool()
+	var inflight []*Packet
+	var id uint64
+	for step := 0; step < 5000; step++ {
+		if len(inflight) == 0 || rng.Intn(2) == 0 {
+			id++
+			cycle := int64(step)
+			got := pl.Get(id, rng.Intn(64), rng.Intn(64), Class(rng.Intn(int(NumClasses))), 1+rng.Intn(5), cycle)
+			want := NewPacket(got.ID, got.Src, got.Dst, got.Class, got.Len, cycle)
+			if *got != *want {
+				t.Fatalf("step %d: recycled packet differs from fresh allocation:\n got %+v\nwant %+v", step, *got, *want)
+			}
+			// Simulate a network life: scribble on every mutable field.
+			got.TxnID = rng.Uint64()
+			got.InjectTime = cycle + 1
+			got.EjectTime = cycle + int64(rng.Intn(100)) + 1
+			got.Kind = Kind(rng.Intn(2))
+			got.RegularCycles = int64(rng.Intn(50))
+			got.FastCycles = int64(rng.Intn(50))
+			got.Dropped = rng.Intn(3)
+			got.Rejected = rng.Intn(2) == 0
+			got.Hops = rng.Intn(16)
+			inflight = append(inflight, got)
+		} else {
+			i := rng.Intn(len(inflight))
+			pl.Put(inflight[i])
+			inflight[i] = inflight[len(inflight)-1]
+			inflight = inflight[:len(inflight)-1]
+		}
+	}
+	if pl.News >= pl.Gets {
+		t.Errorf("pool never recycled (News %d, Gets %d)", pl.News, pl.Gets)
+	}
+}
+
+func TestPoolSteadyStateDoesNotAllocate(t *testing.T) {
+	pl := NewPool()
+	warm := make([]*Packet, 32)
+	for i := range warm {
+		warm[i] = pl.Get(uint64(i), 0, 1, Request, 5, 0)
+	}
+	for _, p := range warm {
+		pl.Put(p)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := range warm {
+			warm[i] = pl.Get(uint64(i), 0, 1, Request, 5, 0)
+		}
+		for _, p := range warm {
+			pl.Put(p)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm pool Get/Put allocates %.1f times per run, want 0", allocs)
+	}
+}

@@ -13,6 +13,7 @@ package network
 
 import (
 	"fmt"
+	"iter"
 	"math/rand"
 
 	"repro/internal/message"
@@ -85,6 +86,17 @@ type Network struct {
 	ejectClaims []bool
 	cycle       int64
 
+	// Active-set cycle engine state (see DESIGN.md §9): only routers
+	// holding packets and NICs holding queued work are visited by Step;
+	// only channels carrying flits or credits are shifted; only claims
+	// actually made are cleared.
+	activeRouters activeSet
+	activeNICs    activeSet
+	dirtyChannels []int
+	chDirty       []bool
+	claimedLinks  []int
+	claimedEjects []int
+
 	// Rand is the single deterministic source for the simulation.
 	Rand *rand.Rand
 
@@ -111,11 +123,16 @@ func New(p Params) *Network {
 	}
 	n.linkClaims = make([]bool, len(links))
 	n.ejectClaims = make([]bool, p.Mesh.NumNodes())
+	n.chDirty = make([]bool, len(links))
+	n.activeRouters = newActiveSet(p.Mesh.NumNodes())
+	n.activeNICs = newActiveSet(p.Mesh.NumNodes())
 	for id := 0; id < p.Mesh.NumNodes(); id++ {
 		n.Routers = append(n.Routers, router.New(id, p.Mesh, p.Router, n))
 		nc := nic.New(id, p.EjectCap)
 		r := n.Routers[id]
 		nc.Inject = r.InjectPacket
+		node := id
+		nc.OnActive = func() { n.activeNICs.add(node) }
 		n.NICs = append(n.NICs, nc)
 	}
 	return n
@@ -146,12 +163,27 @@ func (n *Network) SendFlit(linkID int, f message.Flit, outVC int) {
 	}
 	ch.next = transit{flit: f, vc: outVC, valid: true}
 	n.FlitsOnLinks++
+	n.markChannel(linkID)
 }
 
 // SendVCFree implements router.Env.
 func (n *Network) SendVCFree(linkID int, vc int) {
 	ch := n.channels[linkID]
 	ch.creditNext = append(ch.creditNext, vc)
+	n.markChannel(linkID)
+}
+
+// WakeRouter implements router.Env: the node's router gained a packet
+// and joins the active set (idempotent).
+func (n *Network) WakeRouter(node int) { n.activeRouters.add(node) }
+
+// markChannel registers a channel as carrying traffic so shift visits
+// it.
+func (n *Network) markChannel(linkID int) {
+	if !n.chDirty[linkID] {
+		n.chDirty[linkID] = true
+		n.dirtyChannels = append(n.dirtyChannels, linkID)
+	}
 }
 
 // CanEject implements router.Env.
@@ -179,6 +211,7 @@ func (n *Network) ClaimLink(linkID int) {
 		panic(fmt.Sprintf("network: link %d claimed twice in cycle %d — lanes overlap", linkID, n.cycle))
 	}
 	n.linkClaims[linkID] = true
+	n.claimedLinks = append(n.claimedLinks, linkID)
 }
 
 // TryClaimLink claims a link if free and reports success. Opportunistic
@@ -189,6 +222,7 @@ func (n *Network) TryClaimLink(linkID int) bool {
 		return false
 	}
 	n.linkClaims[linkID] = true
+	n.claimedLinks = append(n.claimedLinks, linkID)
 	return true
 }
 
@@ -199,6 +233,7 @@ func (n *Network) ClaimEject(node int) {
 		panic(fmt.Sprintf("network: ejection port %d claimed twice in cycle %d", node, n.cycle))
 	}
 	n.ejectClaims[node] = true
+	n.claimedEjects = append(n.claimedEjects, node)
 }
 
 // LinkBusy reports whether a regular flit occupies either pipeline
@@ -213,29 +248,76 @@ func (n *Network) LinkBusy(linkID int) bool {
 
 // --- simulation loop ---
 
-// Step advances the network one cycle.
+// ActiveRouters iterates the routers currently holding packets, in
+// ascending ID order — the exact subset of a 0..N-1 scan whose visit
+// would not be a no-op. Controllers use it for their per-cycle scans.
+// A router woken during the iteration (a forced move into an empty
+// neighbour) is visited this pass iff its ID is ahead of the cursor,
+// precisely matching full-scan semantics.
+func (n *Network) ActiveRouters() iter.Seq[*router.Router] {
+	return func(yield func(*router.Router) bool) {
+		s := &n.activeRouters
+		for s.cur = 0; s.cur < len(s.ids); s.cur++ {
+			if !yield(n.Routers[s.ids[s.cur]]) {
+				break
+			}
+		}
+		s.cur = -1
+	}
+}
+
+// ActiveRouterCount reports the current active-set size (diagnostics).
+func (n *Network) ActiveRouterCount() int { return len(n.activeRouters.ids) }
+
+// Step advances the network one cycle. Only active routers and NICs are
+// visited; see DESIGN.md §9 for the argument that this is observably
+// identical to the historical visit-everyone loop.
 func (n *Network) Step() {
-	for i := range n.linkClaims {
-		n.linkClaims[i] = false
+	// Retire members that went idle in an earlier cycle. Compaction is
+	// deliberately the first thing in a cycle — never mid-iteration —
+	// and is purely an optimisation: a stale active member's Step/Tick
+	// is a no-op.
+	n.activeRouters.compact(n.routerOccupied)
+	n.activeNICs.compact(n.nicBusy)
+	for _, id := range n.claimedLinks {
+		n.linkClaims[id] = false
 	}
-	for i := range n.ejectClaims {
-		n.ejectClaims[i] = false
+	n.claimedLinks = n.claimedLinks[:0]
+	for _, id := range n.claimedEjects {
+		n.ejectClaims[id] = false
 	}
+	n.claimedEjects = n.claimedEjects[:0]
 	n.Controller.PreCycle(n)
-	for _, nc := range n.NICs {
-		nc.Tick(n.cycle)
+	nics := &n.activeNICs
+	for nics.cur = 0; nics.cur < len(nics.ids); nics.cur++ {
+		n.NICs[nics.ids[nics.cur]].Tick(n.cycle)
 	}
-	for _, r := range n.Routers {
-		r.Step()
+	nics.cur = -1
+	routers := &n.activeRouters
+	for routers.cur = 0; routers.cur < len(routers.ids); routers.cur++ {
+		n.Routers[routers.ids[routers.cur]].Step()
 	}
+	routers.cur = -1
 	n.Controller.PostCycle(n)
 	n.shift()
 	n.cycle++
 }
 
-// shift advances all link and credit pipelines and delivers arrivals.
+func (n *Network) routerOccupied(id int) bool { return n.Routers[id].Occupied() }
+
+func (n *Network) nicBusy(id int) bool { return !n.NICs[id].Idle() }
+
+// shift advances the link and credit pipelines of every channel carrying
+// traffic and delivers arrivals. Channels are visited in wake order, not
+// link order — safe because each channel's effects land on state no
+// other channel touches: flit delivery targets this link's unique
+// (dst, port, vc) input and credits this link's unique (src, port)
+// credit file; router wakes dedupe through the sorted active set.
 func (n *Network) shift() {
-	for _, ch := range n.channels {
+	w := 0
+	for i := 0; i < len(n.dirtyChannels); i++ {
+		id := n.dirtyChannels[i]
+		ch := n.channels[id]
 		if ch.cur.valid {
 			dst := n.Routers[ch.link.Dst]
 			if ch.cur.flit.IsHead() {
@@ -253,7 +335,14 @@ func (n *Network) shift() {
 			}
 			ch.creditNext = ch.creditNext[:0]
 		}
+		if ch.cur.valid {
+			n.dirtyChannels[w] = id
+			w++
+		} else {
+			n.chDirty[id] = false
+		}
 	}
+	n.dirtyChannels = n.dirtyChannels[:w]
 }
 
 // Run advances the network k cycles.

@@ -3,12 +3,19 @@
 // per-class ejection queues with FastPass reservations (§III-C4, Qn 3/4),
 // flit reassembly for regular ejections, and a pluggable consumer model
 // standing in for the processor/cache controller.
+//
+// All queues are ring buffers (internal/ringq): enqueue, dequeue and the
+// MSHR re-issue prepend are O(1) and allocation-free in steady state.
+// The historical slice queues copied the whole queue on every prepend
+// and re-sliced on every dequeue — measurable garbage on the per-cycle
+// hot path.
 package nic
 
 import (
 	"fmt"
 
 	"repro/internal/message"
+	"repro/internal/ringq"
 )
 
 // Consumer models the processor side draining ejection queues. For
@@ -46,14 +53,27 @@ type NIC struct {
 	// OnEject, when set, observes every packet leaving the network.
 	OnEject func(pkt *message.Packet)
 
+	// Recycle, when set, receives every packet the consumer has drained
+	// — the packet's last observable moment. The synthetic harness wires
+	// this to a message.Pool so delivered packets become arena capacity
+	// instead of garbage. Protocol runs leave it nil (the engine keeps
+	// transaction references past consumption).
+	Recycle func(pkt *message.Packet)
+
+	// OnActive, when set, is invoked whenever the NIC acquires work (a
+	// source or ejection enqueue). The network's active-set scheduler
+	// uses it to stop ticking idle NICs; the call is made on every
+	// enqueue and deduplicated by the listener.
+	OnActive func()
+
 	// Consumer drains ejection queues; defaults to ImmediateConsumer.
 	Consumer Consumer
 
-	source [message.NumClasses][]*message.Packet
-	eject  [message.NumClasses][]*message.Packet
+	source [message.NumClasses]ringq.Ring[*message.Packet]
+	eject  [message.NumClasses]ringq.Ring[*message.Packet]
 	// reserved lists FastPass packet IDs with a claim on the next free
 	// slots of the class queue, in arrival order (Qn 3).
-	reserved [message.NumClasses][]uint64
+	reserved [message.NumClasses]ringq.Ring[uint64]
 	// pending counts regular packets mid-ejection (BeginEject'd but not
 	// yet fully reassembled) per class.
 	pending [message.NumClasses]int
@@ -74,29 +94,50 @@ func New(node, ejectCap int) *NIC {
 	return &NIC{Node: node, EjectCap: ejectCap, Consumer: ImmediateConsumer}
 }
 
+// wake signals the active-set listener, if any.
+func (n *NIC) wake() {
+	if n.OnActive != nil {
+		n.OnActive()
+	}
+}
+
+// Idle reports whether Tick would be a no-op: nothing queued at the
+// source and nothing awaiting consumption. Mid-ejection reassembly state
+// (pending/assembling) is driven by the router, not by Tick, so it does
+// not keep a NIC active.
+func (n *NIC) Idle() bool {
+	for c := range n.source {
+		if n.source[c].Len() > 0 || n.eject[c].Len() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // EnqueueSource appends a freshly generated packet to the class source
 // queue (unbounded: models the processor-side request stream; the
 // injection *buffers* in the router are the finite resource).
 func (n *NIC) EnqueueSource(pkt *message.Packet) {
-	n.source[pkt.Class] = append(n.source[pkt.Class], pkt)
+	n.source[pkt.Class].PushBack(pkt)
+	n.wake()
 }
 
 // EnqueueSourceFront re-queues a packet at the front of its class source
 // queue: the MSHR regenerating a dropped injection request re-issues it
 // ahead of younger traffic.
 func (n *NIC) EnqueueSourceFront(pkt *message.Packet) {
-	q := n.source[pkt.Class]
-	n.source[pkt.Class] = append([]*message.Packet{pkt}, q...)
+	n.source[pkt.Class].PushFront(pkt)
+	n.wake()
 }
 
 // SourceDepth reports queued packets for a class (throttling metric).
-func (n *NIC) SourceDepth(c message.Class) int { return len(n.source[c]) }
+func (n *NIC) SourceDepth(c message.Class) int { return n.source[c].Len() }
 
 // TotalSourceDepth reports queued packets across classes.
 func (n *NIC) TotalSourceDepth() int {
 	t := 0
 	for c := range n.source {
-		t += len(n.source[c])
+		t += n.source[c].Len()
 	}
 	return t
 }
@@ -105,21 +146,24 @@ func (n *NIC) TotalSourceDepth() int {
 // consumer, then move source packets into the router injection queues.
 func (n *NIC) Tick(cycle int64) {
 	for c := range n.eject {
-		for len(n.eject[c]) > 0 {
-			head := n.eject[c][0]
+		for n.eject[c].Len() > 0 {
+			head := n.eject[c].Front()
 			if !n.Consumer.TryConsume(cycle, head) {
 				break
 			}
-			n.eject[c] = n.eject[c][1:]
+			n.eject[c].PopFront()
 			n.Consumed[c]++
+			if n.Recycle != nil {
+				n.Recycle(head)
+			}
 		}
 	}
 	for c := range n.source {
-		for len(n.source[c]) > 0 {
-			if !n.Inject(n.source[c][0]) {
+		for n.source[c].Len() > 0 {
+			if !n.Inject(n.source[c].Front()) {
 				break
 			}
-			n.source[c] = n.source[c][1:]
+			n.source[c].PopFront()
 		}
 	}
 }
@@ -127,14 +171,14 @@ func (n *NIC) Tick(cycle int64) {
 // freeSlots is the raw free space of the class ejection queue, counting
 // in-flight regular ejections as occupied.
 func (n *NIC) freeSlots(c message.Class) int {
-	return n.EjectCap - len(n.eject[c]) - n.pending[c]
+	return n.EjectCap - n.eject[c].Len() - n.pending[c]
 }
 
 // reservationIndex returns the packet's position in the class
 // reservation list, or -1.
 func (n *NIC) reservationIndex(c message.Class, id uint64) int {
-	for i, r := range n.reserved[c] {
-		if r == id {
+	for i := 0; i < n.reserved[c].Len(); i++ {
+		if n.reserved[c].At(i) == id {
 			return i
 		}
 	}
@@ -153,7 +197,7 @@ func (n *NIC) CanEject(pkt *message.Packet) bool {
 	if i := n.reservationIndex(c, pkt.ID); i >= 0 {
 		return free >= i+1
 	}
-	return free >= len(n.reserved[c])+1
+	return free >= n.reserved[c].Len()+1
 }
 
 // TryReserve grants pkt the class queue's single reservation if none is
@@ -166,10 +210,10 @@ func (n *NIC) TryReserve(pkt *message.Packet) bool {
 	if n.reservationIndex(pkt.Class, pkt.ID) >= 0 {
 		return true
 	}
-	if len(n.reserved[pkt.Class]) > 0 {
+	if n.reserved[pkt.Class].Len() > 0 {
 		return false
 	}
-	n.reserved[pkt.Class] = append(n.reserved[pkt.Class], pkt.ID)
+	n.reserved[pkt.Class].PushBack(pkt.ID)
 	return true
 }
 
@@ -179,7 +223,7 @@ func (n *NIC) HasReservation(pkt *message.Packet) bool {
 }
 
 // Reservations reports the count of outstanding reservations per class.
-func (n *NIC) Reservations(c message.Class) int { return len(n.reserved[c]) }
+func (n *NIC) Reservations(c message.Class) int { return n.reserved[c].Len() }
 
 // BeginEject reserves space for a regular packet about to stream out of
 // the router's Local port; CanEject must have been consulted first.
@@ -226,32 +270,33 @@ func (n *NIC) EjectFlit(cycle int64, f message.Flit) {
 // Any reservation it held is released. CanEject must hold.
 func (n *NIC) EjectFast(cycle int64, pkt *message.Packet) {
 	if i := n.reservationIndex(pkt.Class, pkt.ID); i >= 0 {
-		n.reserved[pkt.Class] = append(n.reserved[pkt.Class][:i], n.reserved[pkt.Class][i+1:]...)
+		n.reserved[pkt.Class].RemoveAt(i)
 	}
 	n.finish(cycle, pkt)
 }
 
 func (n *NIC) finish(cycle int64, pkt *message.Packet) {
-	if len(n.eject[pkt.Class]) >= n.EjectCap {
+	if n.eject[pkt.Class].Len() >= n.EjectCap {
 		panic(fmt.Sprintf("nic %d: ejection queue overflow (%s)", n.Node, pkt))
 	}
 	pkt.EjectTime = cycle
-	n.eject[pkt.Class] = append(n.eject[pkt.Class], pkt)
+	n.eject[pkt.Class].PushBack(pkt)
+	n.wake()
 	if n.OnEject != nil {
 		n.OnEject(pkt)
 	}
 }
 
 // EjectDepth reports the occupancy of a class ejection queue.
-func (n *NIC) EjectDepth(c message.Class) int { return len(n.eject[c]) }
+func (n *NIC) EjectDepth(c message.Class) int { return n.eject[c].Len() }
 
 // PeekEject returns the head of the class ejection queue without
 // consuming it (protocol engine inspection).
 func (n *NIC) PeekEject(c message.Class) *message.Packet {
-	if len(n.eject[c]) == 0 {
+	if n.eject[c].Len() == 0 {
 		return nil
 	}
-	return n.eject[c][0]
+	return n.eject[c].Front()
 }
 
 // FreeSlotsDebug exposes the raw free-slot count for diagnostics.

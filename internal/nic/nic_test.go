@@ -251,3 +251,83 @@ func TestPeekEject(t *testing.T) {
 		t.Fatal("peek should return head")
 	}
 }
+
+// TestPrependAfterWrap drives the source ring's head around the backing
+// array with interleaved enqueue/inject cycles, then re-issues a packet
+// at the front — the regression the old slice queue hid: a prepend after
+// the physical head has wrapped must still come out first, with the rest
+// of the queue intact.
+func TestPrependAfterWrap(t *testing.T) {
+	n := New(0, 4)
+	var got []*message.Packet
+	budget := 0
+	n.Inject = func(p *message.Packet) bool {
+		if budget == 0 {
+			return false
+		}
+		budget--
+		got = append(got, p)
+		return true
+	}
+	// Cycle enough packets through to wrap the ring's head several times.
+	next := uint64(100)
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 3; i++ {
+			n.EnqueueSource(pkt(next, message.Request, 1))
+			next++
+		}
+		budget = 3
+		n.Tick(int64(round))
+	}
+	got = got[:0]
+	// Leave a resident tail, then prepend a regenerated packet.
+	tail1, tail2 := pkt(1, message.Request, 1), pkt(2, message.Request, 1)
+	n.EnqueueSource(tail1)
+	n.EnqueueSource(tail2)
+	regen := pkt(3, message.Request, 1)
+	n.EnqueueSourceFront(regen)
+	budget = 3
+	n.Tick(99)
+	if len(got) != 3 || got[0] != regen || got[1] != tail1 || got[2] != tail2 {
+		t.Fatalf("prepend after wrap broke ordering: %v", got)
+	}
+}
+
+// TestDuplicateReservationRelease covers the reservation lifecycle around
+// EjectFast: releasing via ejection must free the slot exactly once, a
+// second EjectFast for the same (already-released) holder must not
+// disturb another packet's fresh reservation, and the old O(n)
+// append-splice removal's failure mode — corrupting neighbouring
+// entries — must not reappear.
+func TestDuplicateReservationRelease(t *testing.T) {
+	n := New(0, 1)
+	a := pkt(1, message.Response, 1)
+	b := message.NewPacket(2, 3, 1, message.Response, 1, 0)
+	if !n.TryReserve(a) {
+		t.Fatal("first reservation refused")
+	}
+	if !n.TryReserve(a) {
+		t.Fatal("re-reserving by the holder must be idempotent")
+	}
+	if n.Reservations(message.Response) != 1 {
+		t.Fatalf("idempotent re-reserve duplicated the entry: %d", n.Reservations(message.Response))
+	}
+	if n.TryReserve(b) {
+		t.Fatal("second packet stole the single reservation")
+	}
+	n.EjectFast(5, a) // consumes the slot and releases the reservation
+	if n.HasReservation(a) {
+		t.Error("reservation survived its own ejection")
+	}
+	n.Consumer = ImmediateConsumer
+	n.Tick(6) // drain so the queue frees
+	if !n.TryReserve(b) {
+		t.Fatal("slot not reusable after release")
+	}
+	// A stale duplicate release for a must leave b's reservation alone.
+	n.EjectFast(7, a)
+	if !n.HasReservation(b) || n.Reservations(message.Response) != 1 {
+		t.Fatalf("duplicate release corrupted the list: has(b)=%v count=%d",
+			n.HasReservation(b), n.Reservations(message.Response))
+	}
+}

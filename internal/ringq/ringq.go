@@ -1,0 +1,181 @@
+// Package ringq provides the growable ring buffer behind every hot-path
+// FIFO in the simulator: NIC source/eject/reservation queues and router
+// virtual-channel buffers. The previous slice queues re-sliced on every
+// dequeue (pinning the popped prefix), copied the whole queue on prepend
+// (`append([]T{x}, q...)`), and removed interior elements with an O(n)
+// append splice that allocated under aliasing. A Ring makes enqueue,
+// dequeue and prepend O(1) and allocation-free in steady state: the
+// backing array is reused forever and only grows (by doubling) when the
+// occupancy high-water mark rises.
+//
+// The zero value is an empty ring; the first push allocates. Rings are
+// deliberately unbounded — the simulator's finite resources (VC and
+// ejection capacities) are enforced by their owners, which already
+// guard every enqueue, so a capacity check here would only duplicate an
+// invariant and turn a modelling bug into silent back-pressure.
+package ringq
+
+// Ring is a FIFO/deque over a power-of-two circular buffer.
+type Ring[T any] struct {
+	buf  []T
+	head int // index of element 0
+	n    int // occupancy
+}
+
+// New returns a ring pre-sized for at least capacity elements.
+func New[T any](capacity int) *Ring[T] {
+	r := &Ring[T]{}
+	if capacity > 0 {
+		r.buf = make([]T, ceilPow2(capacity))
+	}
+	return r
+}
+
+// ceilPow2 rounds n up to a power of two (minimum 4: tiny rings grow
+// immediately anyway, so start past the degenerate sizes).
+func ceilPow2(n int) int {
+	c := 4
+	for c < n {
+		c <<= 1
+	}
+	return c
+}
+
+// Len reports the number of buffered elements.
+func (r *Ring[T]) Len() int { return r.n }
+
+// Cap reports the current backing capacity.
+func (r *Ring[T]) Cap() int { return len(r.buf) }
+
+// Empty reports whether the ring holds no elements.
+func (r *Ring[T]) Empty() bool { return r.n == 0 }
+
+// mask converts a logical index to a buffer index. len(buf) is always a
+// power of two, so modulo reduces to an AND.
+func (r *Ring[T]) mask(i int) int { return i & (len(r.buf) - 1) }
+
+// grow doubles the backing array, unrolling the wrap so element 0 lands
+// at buffer index 0.
+func (r *Ring[T]) grow() {
+	newCap := 2 * len(r.buf)
+	if newCap == 0 {
+		newCap = 4
+	}
+	buf := make([]T, newCap)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[r.mask(r.head+i)]
+	}
+	r.buf = buf
+	r.head = 0
+}
+
+// PushBack appends v at the tail.
+func (r *Ring[T]) PushBack(v T) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[r.mask(r.head+r.n)] = v
+	r.n++
+}
+
+// PushFront inserts v before element 0 — the O(1) prepend the NIC's
+// MSHR-regeneration path needs.
+func (r *Ring[T]) PushFront(v T) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.head = r.mask(r.head - 1 + len(r.buf))
+	r.buf[r.head] = v
+	r.n++
+}
+
+// Front returns element 0. It panics on an empty ring.
+func (r *Ring[T]) Front() T {
+	if r.n == 0 {
+		panic("ringq: Front of empty ring")
+	}
+	return r.buf[r.head]
+}
+
+// At returns element i (0 = front). It panics when i is out of range.
+func (r *Ring[T]) At(i int) T {
+	if i < 0 || i >= r.n {
+		panic("ringq: index out of range")
+	}
+	return r.buf[r.mask(r.head+i)]
+}
+
+// PopFront removes and returns element 0, zeroing its slot so the ring
+// never pins a popped pointer against the garbage collector.
+func (r *Ring[T]) PopFront() T {
+	if r.n == 0 {
+		panic("ringq: PopFront of empty ring")
+	}
+	var zero T
+	v := r.buf[r.head]
+	r.buf[r.head] = zero
+	r.head = r.mask(r.head + 1)
+	r.n--
+	return v
+}
+
+// InsertAt places v at logical index i (0 = new front, Len() = append),
+// shifting the shorter side of the ring by one slot.
+func (r *Ring[T]) InsertAt(i int, v T) {
+	if i < 0 || i > r.n {
+		panic("ringq: insert index out of range")
+	}
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	if i <= r.n/2 {
+		// Shift the front segment [0, i) one slot toward the head.
+		r.head = r.mask(r.head - 1 + len(r.buf))
+		for k := 0; k < i; k++ {
+			r.buf[r.mask(r.head+k)] = r.buf[r.mask(r.head+k+1)]
+		}
+	} else {
+		// Shift the back segment [i, n) one slot toward the tail.
+		for k := r.n; k > i; k-- {
+			r.buf[r.mask(r.head+k)] = r.buf[r.mask(r.head+k-1)]
+		}
+	}
+	r.buf[r.mask(r.head+i)] = v
+	r.n++
+}
+
+// RemoveAt removes and returns element i, preserving the order of the
+// rest and zeroing the vacated slot.
+func (r *Ring[T]) RemoveAt(i int) T {
+	if i < 0 || i >= r.n {
+		panic("ringq: remove index out of range")
+	}
+	v := r.buf[r.mask(r.head+i)]
+	var zero T
+	if i <= r.n/2 {
+		// Close the gap from the front.
+		for k := i; k > 0; k-- {
+			r.buf[r.mask(r.head+k)] = r.buf[r.mask(r.head+k-1)]
+		}
+		r.buf[r.head] = zero
+		r.head = r.mask(r.head + 1)
+	} else {
+		// Close the gap from the back.
+		for k := i; k < r.n-1; k++ {
+			r.buf[r.mask(r.head+k)] = r.buf[r.mask(r.head+k+1)]
+		}
+		r.buf[r.mask(r.head+r.n-1)] = zero
+	}
+	r.n--
+	return v
+}
+
+// Clear empties the ring, zeroing occupied slots (pointer hygiene) while
+// keeping the backing array.
+func (r *Ring[T]) Clear() {
+	var zero T
+	for i := 0; i < r.n; i++ {
+		r.buf[r.mask(r.head+i)] = zero
+	}
+	r.head, r.n = 0, 0
+}

@@ -40,6 +40,10 @@ type Env interface {
 	CancelEject(node int, pkt *message.Packet)
 	// EjectFlit delivers one flit of an ejecting packet to the NIC.
 	EjectFlit(node int, f message.Flit)
+	// WakeRouter tells the active-set scheduler that the node's router
+	// gained a resident packet and must be stepped again. Routers call
+	// it on every insertion; the scheduler deduplicates.
+	WakeRouter(node int)
 }
 
 // Config carries the per-scheme router parameters (Table II).
@@ -117,7 +121,12 @@ type Router struct {
 	// ejecting marks classes with a regular packet mid-ejection.
 	ejecting [message.NumClasses]bool
 
-	vaArb    *RRArbiter   // over (port, vc) head candidates
+	// resident counts packets buffered across all VCs; the VCs keep it
+	// current (see VC.Resident) so Occupied is O(1). An empty router's
+	// Step is a provable no-op, which is what lets the network's
+	// active-set scheduler skip it.
+	resident int
+
 	saInArb  []*RRArbiter // stage 1: per input port over VCs
 	saOutArb []*RRArbiter // stage 2: per output port over input ports
 	portTie  *RRArbiter   // adaptive output-port tie-break
@@ -183,6 +192,9 @@ func New(id int, mesh *topology.Mesh, cfg Config, env Env) *Router {
 				iu.VCs = append(iu.VCs, NewVC(cfg.BufFlits, 1))
 			}
 		}
+		for _, v := range iu.VCs {
+			v.Resident = &r.resident
+		}
 		r.Inputs[p] = iu
 	}
 	r.vcFree = make([][]bool, nPorts)
@@ -197,7 +209,6 @@ func New(id int, mesh *topology.Mesh, cfg Config, env Env) *Router {
 			r.slots = append(r.slots, vaSlot{topology.Direction(p), v})
 		}
 	}
-	r.vaArb = NewRRArbiter(len(r.slots))
 	r.nominee = make([]int, nPorts)
 	r.granted = make([]bool, nPorts)
 	r.isBest = make([]bool, nPorts)
@@ -241,9 +252,18 @@ func (r *Router) DownstreamVCFree(port topology.Direction, vc int) bool {
 // outPort is free again.
 func (r *Router) MarkVCFree(port topology.Direction, vc int) { r.vcFree[port][vc] = true }
 
+// Occupied reports whether any packet is buffered in this router. An
+// unoccupied router's Step cannot change any state (see DESIGN.md §9),
+// so the network skips it.
+func (r *Router) Occupied() bool { return r.resident > 0 }
+
+// wake notifies the scheduler that this router holds work.
+func (r *Router) wake() { r.Env.WakeRouter(r.ID) }
+
 // DeliverHead accepts a head flit arriving on a network input port.
 func (r *Router) DeliverHead(port topology.Direction, vc int, pkt *message.Packet) {
 	r.Inputs[port].VCs[vc].AcceptHead(pkt, r.Env.Cycle())
+	r.wake()
 }
 
 // DeliverBody accepts a body/tail flit arriving on a network input port.
@@ -260,6 +280,7 @@ func (r *Router) InjectPacket(pkt *message.Packet) bool {
 		return false
 	}
 	q.EnqueueWhole(pkt, r.Env.Cycle())
+	r.wake()
 	return true
 }
 
@@ -307,9 +328,14 @@ func (r *Router) Step() {
 }
 
 // allocateVCs performs VC allocation for every unallocated head entry,
-// in round-robin order across (port, vc).
+// in round-robin order across (port, vc). The rotation start is derived
+// from the cycle number rather than kept in a stateful arbiter: the old
+// pointer advanced unconditionally every cycle, so it always equalled
+// cycle mod len(slots) — deriving it makes an idle cycle a true no-op,
+// which the active-set scheduler depends on to skip empty routers
+// without perturbing arbitration.
 func (r *Router) allocateVCs() {
-	start := r.vaArb.next
+	start := int(r.Env.Cycle() % int64(len(r.slots)))
 	for k := 0; k < len(r.slots); k++ {
 		s := r.slots[(start+k)%len(r.slots)]
 		e := r.Inputs[s.port].VCs[s.vc].Head()
@@ -318,7 +344,6 @@ func (r *Router) allocateVCs() {
 		}
 		r.tryAllocate(e)
 	}
-	r.vaArb.next = (start + 1) % len(r.slots)
 }
 
 // tryAllocate attempts VC allocation for one head entry.
@@ -457,8 +482,11 @@ func (r *Router) transmit(in topology.Direction, vc int) {
 	cycle := r.Env.Cycle()
 	buf := r.Inputs[in].VCs[vc]
 	e := buf.Head()
+	// Capture everything needed from the entry now: SendFlit recycles it
+	// when the tail departs.
 	pkt := e.Pkt
 	out := e.OutPort
+	outVC := e.OutVC
 	isHead := e.Sent == 0
 	flit, done := buf.SendFlit(cycle)
 	if isHead && in == topology.Local && pkt.InjectTime < 0 {
@@ -473,7 +501,7 @@ func (r *Router) transmit(in topology.Direction, vc int) {
 		if isHead {
 			pkt.Hops++
 		}
-		r.Env.SendFlit(r.outLinks[out], flit, e.OutVC)
+		r.Env.SendFlit(r.outLinks[out], flit, outVC)
 	}
 	if done && in != topology.Local && r.inLinks[in] >= 0 {
 		// The tail left this network VC: credit the upstream router.
@@ -568,6 +596,7 @@ func (r *Router) InsertPacket(port topology.Direction, vc int, pkt *message.Pack
 		return false
 	}
 	buf.EnqueueWhole(pkt, r.Env.Cycle())
+	r.wake()
 	return true
 }
 
@@ -576,6 +605,15 @@ func (r *Router) InsertPacket(port topology.Direction, vc int, pkt *message.Pack
 // VC.EnqueueOverflow).
 func (r *Router) InsertOverflow(port topology.Direction, vc int, pkt *message.Packet) {
 	r.Inputs[port].VCs[vc].EnqueueOverflow(pkt, r.Env.Cycle())
+	r.wake()
+}
+
+// InsertFrontOverflow places a packet at the front of (port, vc) beyond
+// capacity — FastPass's rejected-packet parking (see
+// VC.EnqueueFrontOverflow).
+func (r *Router) InsertFrontOverflow(port topology.Direction, vc int, pkt *message.Packet) {
+	r.Inputs[port].VCs[vc].EnqueueFrontOverflow(pkt, r.Env.Cycle())
+	r.wake()
 }
 
 // BlockedFor reports how long the head of (port, vc) has been resident
@@ -595,8 +633,8 @@ func (r *Router) ResidentPackets() []*message.Packet {
 	var pkts []*message.Packet
 	for _, iu := range r.Inputs {
 		for _, v := range iu.VCs {
-			for _, e := range v.Entries() {
-				pkts = append(pkts, e.Pkt)
+			for i := 0; i < v.Len(); i++ {
+				pkts = append(pkts, v.EntryAt(i).Pkt)
 			}
 		}
 	}

@@ -51,6 +51,7 @@ func (f *fakeEnv) CanEject(n int, p *message.Packet) bool { return !f.ejectDeny[
 func (f *fakeEnv) BeginEject(n int, p *message.Packet)    { f.pendingEj++ }
 func (f *fakeEnv) CancelEject(n int, p *message.Packet)   { f.pendingEj-- }
 func (f *fakeEnv) EjectFlit(n int, fl message.Flit)       { f.ejected = append(f.ejected, fl) }
+func (f *fakeEnv) WakeRouter(int)                         {}
 
 func adaptiveCfg(vns, vcs int) Config {
 	algs := make([]routing.Algorithm, vcs)

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"repro/internal/message"
+	"repro/internal/ringq"
 	"repro/internal/topology"
 )
 
@@ -47,12 +48,24 @@ func (e *Entry) FullyBuffered() bool {
 // VC is a virtual-channel buffer. Network VCs hold at most one packet
 // (virtual cut-through, single packet per VC); injection-queue VCs hold
 // a FIFO of whole packets bounded by flit capacity.
+//
+// Entries live in a ring buffer and are recycled through a per-VC free
+// list, so steady-state traffic through a VC touches the allocator not
+// at all. A released entry has Pkt set to nil, turning any stale-pointer
+// use into an immediate nil dereference rather than silent corruption.
 type VC struct {
 	// CapFlits bounds total buffered flits; MaxPkts bounds the packet
 	// FIFO depth (1 for network VCs).
 	CapFlits, MaxPkts int
-	entries           []*Entry
+	entries           ringq.Ring[*Entry]
 	flits             int
+	freeEntries       []*Entry
+
+	// Resident, when set, points at the owning router's resident-packet
+	// counter; the VC keeps it in sync on every enqueue/dequeue so the
+	// active-set scheduler can test router occupancy in O(1) even when
+	// controllers manipulate VCs directly.
+	Resident *int
 }
 
 // NewVC constructs a VC with the given capacities.
@@ -63,11 +76,42 @@ func NewVC(capFlits, maxPkts int) *VC {
 	return &VC{CapFlits: capFlits, MaxPkts: maxPkts}
 }
 
+// alloc hands out a reset entry from the free list (or the allocator on
+// first use) and counts the packet as resident.
+func (v *VC) alloc(pkt *message.Packet, arrived int, cycle int64) *Entry {
+	var e *Entry
+	if n := len(v.freeEntries); n > 0 {
+		e = v.freeEntries[n-1]
+		v.freeEntries[n-1] = nil
+		v.freeEntries = v.freeEntries[:n-1]
+		*e = Entry{}
+	} else {
+		e = &Entry{}
+	}
+	e.Pkt = pkt
+	e.Arrived = arrived
+	e.EnqueueCycle = cycle
+	e.LastMove = cycle
+	if v.Resident != nil {
+		*v.Resident++
+	}
+	return e
+}
+
+// release returns an entry to the free list and uncounts its packet.
+func (v *VC) release(e *Entry) {
+	e.Pkt = nil
+	v.freeEntries = append(v.freeEntries, e)
+	if v.Resident != nil {
+		*v.Resident--
+	}
+}
+
 // Empty reports whether the VC holds no packets.
-func (v *VC) Empty() bool { return len(v.entries) == 0 }
+func (v *VC) Empty() bool { return v.entries.Empty() }
 
 // Len reports the number of resident packets.
-func (v *VC) Len() int { return len(v.entries) }
+func (v *VC) Len() int { return v.entries.Len() }
 
 // Flits reports the number of buffered flits.
 func (v *VC) Flits() int { return v.flits }
@@ -77,20 +121,20 @@ func (v *VC) FreeFlits() int { return v.CapFlits - v.flits }
 
 // Head returns the front entry, or nil when empty.
 func (v *VC) Head() *Entry {
-	if len(v.entries) == 0 {
+	if v.entries.Empty() {
 		return nil
 	}
-	return v.entries[0]
+	return v.entries.Front()
 }
 
-// Entries returns the resident entries front-to-back. The slice is the
-// internal one; callers must not reorder it.
-func (v *VC) Entries() []*Entry { return v.entries }
+// EntryAt returns the resident entry at position i (0 = front). The
+// entry is owned by the VC; it is recycled when its packet departs.
+func (v *VC) EntryAt(i int) *Entry { return v.entries.At(i) }
 
 // CanAccept reports whether a packet of length flits could be enqueued
 // whole right now.
 func (v *VC) CanAccept(flitLen int) bool {
-	return len(v.entries) < v.MaxPkts && v.flits+flitLen <= v.CapFlits
+	return v.entries.Len() < v.MaxPkts && v.flits+flitLen <= v.CapFlits
 }
 
 // EnqueueWhole inserts a packet with all flits present (injection
@@ -109,8 +153,8 @@ func (v *VC) EnqueueWhole(pkt *message.Packet, cycle int64) *Entry {
 // the paper's router provides dedicated paths (Fig. 6, purple/green)
 // guaranteeing the returned packet a slot, and never drops it (Qn 2).
 func (v *VC) EnqueueOverflow(pkt *message.Packet, cycle int64) *Entry {
-	e := &Entry{Pkt: pkt, Arrived: pkt.Len, EnqueueCycle: cycle, LastMove: cycle}
-	v.entries = append(v.entries, e)
+	e := v.alloc(pkt, pkt.Len, cycle)
+	v.entries.PushBack(e)
 	v.flits += pkt.Len
 	return e
 }
@@ -122,14 +166,12 @@ func (v *VC) EnqueueOverflow(pkt *message.Packet, cycle int64) *Entry {
 // Fig. 5a). If the current head has already sent flits, the packet slots
 // in right behind it to preserve wormhole integrity.
 func (v *VC) EnqueueFrontOverflow(pkt *message.Packet, cycle int64) *Entry {
-	e := &Entry{Pkt: pkt, Arrived: pkt.Len, EnqueueCycle: cycle, LastMove: cycle}
+	e := v.alloc(pkt, pkt.Len, cycle)
 	pos := 0
 	if h := v.Head(); h != nil && h.Sent > 0 {
 		pos = 1
 	}
-	v.entries = append(v.entries, nil)
-	copy(v.entries[pos+1:], v.entries[pos:])
-	v.entries[pos] = e
+	v.entries.InsertAt(pos, e)
 	v.flits += pkt.Len
 	return e
 }
@@ -137,18 +179,18 @@ func (v *VC) EnqueueFrontOverflow(pkt *message.Packet, cycle int64) *Entry {
 // AcceptHead starts receiving a packet flit-by-flit from a link (network
 // VCs). The VC must be free.
 func (v *VC) AcceptHead(pkt *message.Packet, cycle int64) *Entry {
-	if len(v.entries) >= v.MaxPkts {
+	if v.entries.Len() >= v.MaxPkts {
 		panic(fmt.Sprintf("router: head flit into occupied VC (%s)", pkt))
 	}
-	e := &Entry{Pkt: pkt, Arrived: 1, EnqueueCycle: cycle, LastMove: cycle}
-	v.entries = append(v.entries, e)
+	e := v.alloc(pkt, 1, cycle)
+	v.entries.PushBack(e)
 	v.flits++
 	return e
 }
 
 // AcceptBody receives a subsequent flit of the in-flight tail packet.
 func (v *VC) AcceptBody(pkt *message.Packet, cycle int64) {
-	e := v.entries[len(v.entries)-1]
+	e := v.entries.At(v.entries.Len() - 1)
 	if e.Pkt != pkt {
 		panic(fmt.Sprintf("router: body flit of %s interleaved into VC holding %s", pkt, e.Pkt))
 	}
@@ -161,8 +203,9 @@ func (v *VC) AcceptBody(pkt *message.Packet, cycle int64) {
 }
 
 // SendFlit records the departure of the next flit of the head packet
-// and returns it. When the tail departs, the entry is popped and done
-// is true (the VC — or its slot — is free again).
+// and returns it. When the tail departs, the entry is popped — and
+// recycled: callers must not touch the entry afterwards — and done is
+// true (the VC, or its slot, is free again).
 func (v *VC) SendFlit(cycle int64) (f message.Flit, done bool) {
 	e := v.Head()
 	if e == nil || e.Sent >= e.Arrived {
@@ -173,7 +216,8 @@ func (v *VC) SendFlit(cycle int64) (f message.Flit, done bool) {
 	e.LastMove = cycle
 	v.flits--
 	if e.Sent == e.Pkt.Len {
-		v.entries = v.entries[1:]
+		v.entries.PopFront()
+		v.release(e)
 		return f, true
 	}
 	return f, false
@@ -190,19 +234,23 @@ func (v *VC) RemoveHead() *message.Packet {
 	if !e.FullyBuffered() {
 		panic(fmt.Sprintf("router: RemoveHead on streaming packet %s", e.Pkt))
 	}
-	v.entries = v.entries[1:]
-	v.flits -= e.Pkt.Len
-	return e.Pkt
+	pkt := e.Pkt
+	v.entries.PopFront()
+	v.flits -= pkt.Len
+	v.release(e)
+	return pkt
 }
 
 // RemoveAt extracts the fully-buffered packet at index i (dynamic-bubble
 // dropping picks victims from the back of the request injection queue).
 func (v *VC) RemoveAt(i int) *message.Packet {
-	e := v.entries[i]
+	e := v.entries.At(i)
 	if !e.FullyBuffered() {
 		panic(fmt.Sprintf("router: RemoveAt on streaming packet %s", e.Pkt))
 	}
-	v.entries = append(v.entries[:i], v.entries[i+1:]...)
-	v.flits -= e.Pkt.Len
-	return e.Pkt
+	pkt := e.Pkt
+	v.entries.RemoveAt(i)
+	v.flits -= pkt.Len
+	v.release(e)
+	return pkt
 }

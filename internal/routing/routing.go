@@ -137,17 +137,29 @@ func RouteFullyAdaptive(m *topology.Mesh, buf []topology.Direction, cur, dst int
 // PathXY materialises the full XY path from src to dst as an ordered
 // slice of links. FastPass uses it to pre-compute lane trajectories.
 func PathXY(m *topology.Mesh, src, dst int) []*topology.Link {
-	return path(m, src, dst, RouteXY)
+	return AppendPathXY(m, nil, src, dst)
 }
 
 // PathYX materialises the full YX path from src to dst (returning
 // paths).
 func PathYX(m *topology.Mesh, src, dst int) []*topology.Link {
-	return path(m, src, dst, RouteYX)
+	return AppendPathYX(m, nil, src, dst)
 }
 
-func path(m *topology.Mesh, src, dst int, f Func) []*topology.Link {
-	var links []*topology.Link
+// AppendPathXY appends the XY path from src to dst to links and returns
+// it. Passing a reusable buffer (typically links[:0] of a prior path)
+// keeps per-launch lane computation allocation-free.
+func AppendPathXY(m *topology.Mesh, links []*topology.Link, src, dst int) []*topology.Link {
+	return appendPath(m, links, src, dst, RouteXY)
+}
+
+// AppendPathYX appends the YX path from src to dst to links and returns
+// it (returning paths).
+func AppendPathYX(m *topology.Mesh, links []*topology.Link, src, dst int) []*topology.Link {
+	return appendPath(m, links, src, dst, RouteYX)
+}
+
+func appendPath(m *topology.Mesh, links []*topology.Link, src, dst int, f Func) []*topology.Link {
 	var buf [2]topology.Direction
 	cur := src
 	for cur != dst {

@@ -213,6 +213,25 @@ func Build(o Options) *Instance {
 	return inst
 }
 
+// UsePool attaches a per-simulation packet arena: every delivered packet
+// is released back to the pool the moment the NIC consumer drains it,
+// so steady-state traffic recycles its packet structs instead of
+// churning the allocator. Only valid when nothing retains packet
+// references past consumption — true for the synthetic harness (the
+// stats collector copies what it needs at ejection), not for protocol
+// runs (transactions outlive delivery). Returns nil for MinBD, which
+// has its own packet model.
+func (i *Instance) UsePool() *message.Pool {
+	if i.Net == nil {
+		return nil
+	}
+	pl := message.NewPool()
+	for _, nc := range i.Net.NICs {
+		nc.Recycle = pl.Put
+	}
+	return pl
+}
+
 // Step advances one cycle.
 func (i *Instance) Step() {
 	if i.Net != nil {

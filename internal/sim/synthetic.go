@@ -78,6 +78,7 @@ func RunSynthetic(cfg SynthConfig) SynthResult {
 	gen := &traffic.Generator{
 		Pattern: cfg.Pattern, Rate: cfg.Rate, W: cfg.W, H: cfg.H,
 		HotspotNode: cfg.HotspotNode, HotspotFraction: cfg.HotspotFraction,
+		Pool: inst.UsePool(),
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed + 0x5eed))
 	total := cfg.Warmup + cfg.Measure + cfg.Drain

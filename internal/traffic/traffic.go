@@ -71,6 +71,11 @@ type Generator struct {
 	// HotspotFraction of packets target HotspotNode (default 0.2).
 	HotspotFraction float64
 
+	// Pool, when set, is the packet arena new packets are drawn from
+	// (the harness returns delivered packets to it). Nil falls back to
+	// plain allocation.
+	Pool *message.Pool
+
 	nextID uint64
 	out    []*message.Packet // Tick scratch, reused across cycles
 }
@@ -175,7 +180,11 @@ func (g *Generator) Tick(cycle int64, rng *rand.Rand) []*message.Packet {
 		}
 		cl, ln := classMix(rng)
 		g.nextID++
-		out = append(out, message.NewPacket(g.nextID, src, dst, cl, ln, cycle))
+		if g.Pool != nil {
+			out = append(out, g.Pool.Get(g.nextID, src, dst, cl, ln, cycle))
+		} else {
+			out = append(out, message.NewPacket(g.nextID, src, dst, cl, ln, cycle))
+		}
 	}
 	g.out = out
 	return out

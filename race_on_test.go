@@ -1,0 +1,8 @@
+//go:build race
+
+package repro_test
+
+// raceEnabled reports whether the race detector is instrumenting this
+// test binary (it allocates behind the scenes, so allocation-count
+// guards must skip under it).
+const raceEnabled = true
