@@ -24,7 +24,9 @@ const steadyStateAllocBudget = 0.05
 
 func measureSteadyStateAllocs(t *testing.T, scheme noc.Scheme, w, h int, rate float64) float64 {
 	t.Helper()
-	inst := sim.Build(sim.Options{Scheme: scheme, W: w, H: h, Seed: 1})
+	// Watchdog on at the default stride: invariant sampling is part of
+	// the steady state and must fit inside the same zero budget.
+	inst := sim.Build(sim.Options{Scheme: scheme, W: w, H: h, Seed: 1, Watchdog: "on"})
 	gen := &traffic.Generator{Pattern: traffic.Uniform, Rate: rate, W: w, H: h, Pool: inst.UsePool()}
 	rng := rand.New(rand.NewSource(0x5eed))
 	tick := func() {

@@ -5,6 +5,10 @@
 //
 //	nocsim -scheme FastPass -pattern Uniform -rate 0.05 -size 8 -vcs 4
 //	nocsim -scheme EscapeVC -app Canneal -size 8
+//	nocsim -scheme FastPass -faults 'linkfail:rate=1e-4,dur=64;corrupt:rate=1e-5' -rate 0.05
+//
+// Exit codes: 0 clean, 2 saturated or timed out, 3 invariant watchdog
+// abort (the structured deadlock/starvation report goes to stderr).
 package main
 
 import (
@@ -30,13 +34,30 @@ func main() {
 	warmup := flag.Int("warmup", 2000, "warmup cycles")
 	measure := flag.Int("measure", 5000, "measurement cycles")
 	drain := flag.Int("drain", 3000, "drain cycles")
+	faultSpec := flag.String("faults", "", "fault-injection plan, e.g. 'linkfail:rate=1e-4,dur=64;corrupt:rate=1e-5;stallconsumer:node=3,at=500,perm'")
+	faultScale := flag.Float64("faultscale", 1, "multiplier applied to every rate in the fault plan")
+	watchdog := flag.String("watchdog", "on", "invariant watchdogs: on, off, or 'stride=..,deadlock=..,starve=..,leak=..'")
 	flag.Parse()
 
 	scheme, err := noc.ParseScheme(*schemeName)
 	if err != nil {
 		log.Fatal(err)
 	}
-	opts := noc.Options{Scheme: scheme, W: *size, H: *size, VCs: *vcs, Seed: *seed, DrainPeriod: 8192}
+	if _, err := noc.ParseFaultPlan(*faultSpec); err != nil {
+		log.Fatal(err)
+	}
+	if _, _, err := noc.ParseWatchdogSpec(*watchdog); err != nil {
+		log.Fatal(err)
+	}
+	opts := noc.Options{
+		Scheme: scheme, W: *size, H: *size, VCs: *vcs, Seed: *seed, DrainPeriod: 8192,
+		Faults: *faultSpec, FaultScale: *faultScale, Watchdog: *watchdog,
+	}
+	if scheme == noc.MinBD {
+		// MinBD's deflection network carries neither the fault injector
+		// nor the watchdogs.
+		opts.Faults, opts.Watchdog = "", ""
+	}
 
 	if *app != "" {
 		runApp(opts, *app)
@@ -69,6 +90,25 @@ func main() {
 			res.RegularFrac, res.FastFrac, res.DroppedFrac)
 		fmt.Printf("promotions      %d (drops %d)\n", res.Promoted, res.Drops)
 	}
+	if *faultSpec != "" {
+		fmt.Printf("fault totals    %d link fails, %d port stalls, %d consumer stalls, %d credits lost\n",
+			res.Faults.LinkFails, res.Faults.PortStalls, res.Faults.ConsumerStalls, res.Faults.CreditsLost)
+		fmt.Printf("corruption      %d flits corrupted, %d detected at delivery, %d packets flagged\n",
+			res.Faults.FlitsCorrupted, res.Faults.CorruptionsDetected, res.CorruptedDelivered)
+		fmt.Printf("accounting      %d created = %d delivered + %d stranded (credit leaks %d)\n",
+			res.Created, res.Delivered, res.Stranded, res.CreditLeaks)
+	}
+	if res.Aborted {
+		fmt.Printf("state           ABORTED by invariant watchdog at cycle %d\n", res.AbortCycle)
+		fmt.Fprintln(os.Stderr, res.AbortReport)
+		os.Exit(3)
+	}
+	if res.Stranded > 0 && *faultSpec == "" {
+		// Near saturation a finite drain window legitimately leaves a
+		// backlog, so this is informational; actual packet loss is the
+		// conservation watchdog's job and aborts above.
+		fmt.Printf("state           NON-QUIESCENT: %d packets still in flight after drain\n", res.Stranded)
+	}
 	if res.Saturated {
 		fmt.Println("state           SATURATED")
 		os.Exit(2)
@@ -87,4 +127,13 @@ func runApp(opts noc.Options, name string) {
 	fmt.Printf("avg latency     %.2f cycles\n", res.AvgLatency)
 	fmt.Printf("p99 latency     %.0f cycles\n", res.P99Latency)
 	fmt.Printf("transactions    %d completed / %d issued (stalls %d)\n", res.Completed, res.Issued, res.Stalled)
+	if res.Aborted {
+		fmt.Printf("state           ABORTED by invariant watchdog at cycle %d\n", res.AbortCycle)
+		fmt.Fprintln(os.Stderr, res.AbortReport)
+		os.Exit(3)
+	}
+	if res.Timeout {
+		fmt.Println("state           TIMEOUT: work quota not completed")
+		os.Exit(2)
+	}
 }

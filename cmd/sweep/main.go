@@ -3,10 +3,22 @@
 // parallel, and each scheme's rate grid fans out too; the CSV is
 // bit-identical at any -j (see DESIGN.md on the determinism contract).
 //
+// With -faults the runs execute under deterministic fault injection;
+// with -fault-scales the command switches to the resilience experiment,
+// sweeping the plan's intensity instead of the injection rate and
+// reporting delivery/stranding/abort accounting per (scheme, scale).
+//
 // Usage:
 //
 //	sweep -pattern Transpose -schemes FastPass,EscapeVC,SPIN -size 8
 //	sweep -schemes FastPass -rate-min 0.02 -rate-max 0.2 -j 4
+//	sweep -schemes FastPass,EscapeVC -faults 'linkfail:rate=2e-3,dur=64' -fault-scales 0,0.5,1
+//
+// If the invariant watchdog aborts any latency-sweep point, the CSV
+// (with the aborted points as empty cells) is still written, every
+// structured report goes to stderr, and the exit code is 1. In
+// resilience mode aborts are the measurement — they land in the
+// aborted/deadlock CSV columns and do not change the exit code.
 package main
 
 import (
@@ -14,6 +26,8 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/parallel"
@@ -32,13 +46,68 @@ func main() {
 	rateMax := flag.Float64("rate-max", 0.30, "last injection rate")
 	rateStep := flag.Float64("rate-step", 0.02, "rate increment")
 	jobs := flag.Int("j", 0, "parallel workers (0 = one per core, 1 = serial)")
+	faultSpec := flag.String("faults", "", "fault-injection plan applied to every run")
+	faultScale := flag.Float64("faultscale", 1, "fault-plan rate multiplier (latency sweeps)")
+	faultScales := flag.String("fault-scales", "", "comma-separated intensity multipliers; switches to the resilience experiment (requires -faults)")
+	watchdog := flag.String("watchdog", "on", "invariant watchdogs: on, off, or tuning clauses")
 	flag.Parse()
 
 	cfg, err := buildConfig(*schemes, *patternName, *size, *seed, *rateMin, *rateMax, *rateStep, *jobs)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print(sweepCSV(cfg))
+	if _, err := noc.ParseFaultPlan(*faultSpec); err != nil {
+		log.Fatal(err)
+	}
+	if _, _, err := noc.ParseWatchdogSpec(*watchdog); err != nil {
+		log.Fatal(err)
+	}
+	cfg.faults, cfg.faultScale, cfg.watchdog = *faultSpec, *faultScale, *watchdog
+
+	if *faultScales != "" {
+		if *faultSpec == "" {
+			log.Fatal("-fault-scales requires -faults")
+		}
+		scales, err := parseScales(*faultScales)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, s := range cfg.schemes {
+			if s == noc.MinBD {
+				log.Fatal("the resilience experiment does not support MinBD (no links, credits or NICs to degrade)")
+			}
+		}
+		cfg.scales = scales
+		csv, reports := resilienceCSV(cfg)
+		fmt.Print(csv)
+		for _, r := range reports {
+			fmt.Fprintln(os.Stderr, r)
+		}
+		return
+	}
+
+	csv, reports := sweepCSV(cfg)
+	fmt.Print(csv)
+	for _, r := range reports {
+		fmt.Fprintln(os.Stderr, r)
+	}
+	if len(reports) > 0 {
+		os.Exit(1)
+	}
+}
+
+// parseScales parses the -fault-scales list (non-negative, 0 = the
+// fault-free control point).
+func parseScales(list string) ([]float64, error) {
+	var scales []float64
+	for _, raw := range strings.Split(list, ",") {
+		s, err := strconv.ParseFloat(strings.TrimSpace(raw), 64)
+		if err != nil || s < 0 {
+			return nil, fmt.Errorf("fault scale %q must be a non-negative number", raw)
+		}
+		scales = append(scales, s)
+	}
+	return scales, nil
 }
 
 // sweepConfig is a fully-validated sweep description: every field has
@@ -54,6 +123,12 @@ type sweepConfig struct {
 	// Warmup/Measure/Drain override the RunSynthetic defaults when
 	// non-zero (tests shrink them; the CLI keeps the paper windows).
 	warmup, measure, drain int
+	// faults/faultScale/watchdog ride into every run's Options; scales,
+	// when non-empty, selects the resilience experiment.
+	faults     string
+	faultScale float64
+	watchdog   string
+	scales     []float64
 }
 
 // buildConfig turns raw flag values into a validated sweepConfig.
@@ -134,20 +209,35 @@ func buildRateGrid(min, max, step float64) ([]float64, error) {
 	return rates, nil
 }
 
+// baseConfig assembles the per-scheme SynthConfig a sweep perturbs.
+// MinBD silently runs without faults or watchdogs (its deflection
+// network supports neither).
+func (cfg sweepConfig) baseConfig(scheme noc.Scheme) noc.SynthConfig {
+	base := noc.SynthConfig{
+		Options: noc.Options{Scheme: scheme, W: cfg.size, H: cfg.size, Seed: cfg.seed, DrainPeriod: 8192,
+			Faults: cfg.faults, FaultScale: cfg.faultScale, Watchdog: cfg.watchdog},
+		Pattern: cfg.pattern,
+		Warmup:  cfg.warmup, Measure: cfg.measure, Drain: cfg.drain,
+	}
+	if scheme == noc.MinBD {
+		base.Faults, base.Watchdog = "", ""
+	}
+	return base
+}
+
 // sweepCSV runs every scheme's sweep (in parallel, each sweep itself
 // parallel over rates) and renders the CSV; saturated points are empty
-// cells.
-func sweepCSV(cfg sweepConfig) string {
+// cells. The second return value carries one structured watchdog report
+// per aborted point — the CSV is still complete (aborted points are
+// empty cells), so callers can write the partial data and still exit
+// nonzero.
+func sweepCSV(cfg sweepConfig) (string, []string) {
 	series := parallel.Map(cfg.jobs, cfg.schemes, func(scheme noc.Scheme) []noc.SynthResult {
-		base := noc.SynthConfig{
-			Options: noc.Options{Scheme: scheme, W: cfg.size, H: cfg.size, Seed: cfg.seed, DrainPeriod: 8192},
-			Pattern: cfg.pattern,
-			Warmup:  cfg.warmup, Measure: cfg.measure, Drain: cfg.drain,
-		}
-		return noc.SweepLatencyJobs(base, cfg.rates, cfg.jobs)
+		return noc.SweepLatencyJobs(cfg.baseConfig(scheme), cfg.rates, cfg.jobs)
 	})
 
 	var b strings.Builder
+	var reports []string
 	b.WriteString("rate")
 	for _, name := range cfg.names {
 		b.WriteString("," + name)
@@ -162,8 +252,40 @@ func sweepCSV(cfg sweepConfig) string {
 			} else {
 				fmt.Fprintf(&b, ",%.2f", p.AvgLatency)
 			}
+			if p.Aborted {
+				reports = append(reports, fmt.Sprintf("sweep: %s @ %.3f aborted at cycle %d:\n%s",
+					cfg.names[j], r, p.AbortCycle, p.AbortReport))
+			}
 		}
 		b.WriteByte('\n')
 	}
-	return b.String()
+	return b.String(), reports
+}
+
+// resilienceCSV runs the fault-intensity sweep and renders one row per
+// (scheme, scale) with the full robustness accounting. Reports carry
+// the structured watchdog diagnostics of every aborted point.
+func resilienceCSV(cfg sweepConfig) (string, []string) {
+	pts := noc.RunResilience(noc.ResilienceConfig{
+		Base:    cfg.baseConfig(cfg.schemes[0]),
+		Scales:  cfg.scales,
+		Schemes: cfg.schemes,
+		Jobs:    cfg.jobs,
+	})
+	var b strings.Builder
+	var reports []string
+	b.WriteString("scheme,scale,created,delivered,stranded,corrupted_delivered,credit_leaks,link_fails,port_stalls,consumer_stalls,flits_corrupted,credits_lost,aborted,deadlock,abort_cycle\n")
+	for _, p := range pts {
+		abortCycle := ""
+		if p.Aborted {
+			abortCycle = fmt.Sprintf("%d", p.AbortCycle)
+			reports = append(reports, fmt.Sprintf("sweep: %v @ scale %g aborted at cycle %d:\n%s",
+				p.Scheme, p.Scale, p.AbortCycle, p.AbortReport))
+		}
+		fmt.Fprintf(&b, "%v,%g,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%t,%t,%s\n",
+			p.Scheme, p.Scale, p.Created, p.Delivered, p.Stranded, p.CorruptedDelivered,
+			p.CreditLeaks, p.Faults.LinkFails, p.Faults.PortStalls, p.Faults.ConsumerStalls,
+			p.Faults.FlitsCorrupted, p.Faults.CreditsLost, p.Aborted, p.DeadlockDetected, abortCycle)
+	}
+	return b.String(), reports
 }

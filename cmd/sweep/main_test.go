@@ -116,7 +116,10 @@ func quickSweepConfig(jobs int) sweepConfig {
 // with `go test ./cmd/sweep -run Golden -update` after an intentional
 // simulator change.
 func TestSweepCSVGolden(t *testing.T) {
-	got := sweepCSV(quickSweepConfig(1))
+	got, reports := sweepCSV(quickSweepConfig(1))
+	if len(reports) != 0 {
+		t.Fatalf("healthy quick sweep produced abort reports: %v", reports)
+	}
 	path := filepath.Join("testdata", "quick_sweep.golden")
 	if *update {
 		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
@@ -135,9 +138,65 @@ func TestSweepCSVGolden(t *testing.T) {
 // TestSweepCSVJobsEquivalence is the CLI-level determinism contract:
 // -j 1 and -j 8 must emit byte-identical CSV.
 func TestSweepCSVJobsEquivalence(t *testing.T) {
-	serial := sweepCSV(quickSweepConfig(1))
-	parallel8 := sweepCSV(quickSweepConfig(8))
+	serial, _ := sweepCSV(quickSweepConfig(1))
+	parallel8, _ := sweepCSV(quickSweepConfig(8))
 	if serial != parallel8 {
 		t.Errorf("-j 1 and -j 8 CSVs differ:\n--- -j 1 ---\n%s--- -j 8 ---\n%s", serial, parallel8)
+	}
+}
+
+// TestSweepAbortStillWritesCSV is the abort-path contract: when the
+// watchdog kills a point, the CSV still comes back complete (the dead
+// point as an empty cell) alongside the structured report — the command
+// prints both and exits nonzero instead of silently reporting the run
+// as converged.
+func TestSweepAbortStillWritesCSV(t *testing.T) {
+	cfg, err := buildConfig("EscapeVC", "Uniform", 4, 7, 0.05, 0.05, 0.01, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.warmup, cfg.measure, cfg.drain = 300, 2000, 300
+	// A permanently wedged consumer plus a tight starvation bound kills
+	// the run mid-measure.
+	cfg.faults = "stallconsumer:node=5,at=100,perm"
+	cfg.faultScale = 1
+	cfg.watchdog = "stride=16,starve=512"
+	csv, reports := sweepCSV(cfg)
+	if len(reports) == 0 {
+		t.Fatal("wedged sweep produced no abort report")
+	}
+	if !strings.Contains(reports[0], "starvation") {
+		t.Errorf("abort report does not mention starvation:\n%s", reports[0])
+	}
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 2 || lines[0] != "rate,EscapeVC" {
+		t.Fatalf("partial CSV malformed:\n%s", csv)
+	}
+	if lines[1] != "0.050," {
+		t.Errorf("aborted point should be an empty cell, got %q", lines[1])
+	}
+}
+
+// TestResilienceCSVShape runs the resilience experiment end to end at
+// quick scale and sanity-checks the CSV accounting columns.
+func TestResilienceCSVShape(t *testing.T) {
+	cfg, err := buildConfig("FastPass,EscapeVC", "Uniform", 4, 7, 0.05, 0.05, 0.01, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.warmup, cfg.measure, cfg.drain = 300, 800, 400
+	cfg.faults = "linkfail:rate=0.002,dur=64;creditloss:rate=0.001"
+	cfg.watchdog = "on"
+	cfg.scales = []float64{0, 1}
+	csv, _ := resilienceCSV(cfg)
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("want header + 4 rows, got %d lines:\n%s", len(lines), csv)
+	}
+	if !strings.HasPrefix(lines[0], "scheme,scale,created,delivered,stranded") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "FastPass,0,") || !strings.HasPrefix(lines[3], "EscapeVC,0,") {
+		t.Errorf("rows not scheme-major:\n%s", csv)
 	}
 }

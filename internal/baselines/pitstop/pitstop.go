@@ -182,6 +182,16 @@ func (c *Controller) Pitted() int {
 	return t
 }
 
+// ForEachHeld visits every pitted packet (conservation watchdog: pitted
+// packets live outside router buffers but are still in flight).
+func (c *Controller) ForEachHeld(f func(*message.Packet)) {
+	for _, p := range c.pits {
+		for _, pkt := range p {
+			f(pkt)
+		}
+	}
+}
+
 // PittedPackets returns the pitted packets (diagnostics).
 func (c *Controller) PittedPackets() []*message.Packet {
 	var out []*message.Packet

@@ -1,0 +1,496 @@
+// Package faults is the deterministic fault-injection engine: it breaks
+// the simulated hardware on purpose — link failures, router input-port
+// stalls, flit payload corruption, credit-pulse loss, wedged ejection
+// consumers — so the watchdogs in internal/invariant and the schemes'
+// recovery mechanisms can be exercised against degraded silicon instead
+// of only healthy meshes.
+//
+// Everything is scheduled off the simulation cycle counter and drawn
+// from a per-injector seeded generator: a fault run is a pure function
+// of (plan, topology, seed). The parallel experiment runner shards
+// across whole simulations, each single-threaded with its own Injector,
+// so fault sweeps are bit-identical at any -j.
+//
+// Fault plans are compact specs, e.g.
+//
+//	linkfail:rate=2e-4,dur=64;corrupt:rate=1e-3;creditloss:rate=1e-4
+//
+// for random transient faults, or targeted one-shot events for fixtures:
+//
+//	stallconsumer:node=5,at=100,perm
+//
+// See ParsePlan for the full grammar.
+package faults
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// EventKind identifies a targeted one-shot fault.
+type EventKind int
+
+// The targeted event kinds.
+const (
+	EvLinkFail EventKind = iota
+	EvPortStall
+	EvConsumerStall
+)
+
+// Event is a targeted fault scheduled at an exact cycle — the
+// deterministic counterpart of the rate-driven faults, used by test
+// fixtures that need a specific victim at a specific time.
+type Event struct {
+	Kind EventKind
+	// At is the cycle the fault begins.
+	At int64
+	// Link is the victim link ID (EvLinkFail).
+	Link int
+	// Node and Port locate the victim (EvPortStall, EvConsumerStall).
+	Node, Port int
+	// Dur is the fault duration in cycles; < 0 means permanent.
+	Dur int64
+}
+
+// Plan is a parsed fault plan. Rates are per-cycle probabilities of one
+// new fault of that category striking a uniformly random victim;
+// corruption and credit loss are rolled per flit traversal and per
+// credit pulse respectively. The zero Plan injects nothing.
+type Plan struct {
+	// LinkFailRate is the per-cycle probability that a random directed
+	// link fails for LinkFailDur cycles (0 → 64; < 0 → permanent). A
+	// failed link stops accepting new regular flits; flits already in
+	// its pipeline still deliver, and FastPass lanes — dedicated wiring
+	// in the paper's router — are unaffected.
+	LinkFailRate float64
+	LinkFailDur  int64
+
+	// PortStallRate is the per-cycle probability that a random network
+	// input port of a random router freezes for PortStallDur cycles
+	// (0 → 32; < 0 → permanent): its buffered flits stop advancing
+	// through the switch.
+	PortStallRate float64
+	PortStallDur  int64
+
+	// CorruptRate is the per-traversal probability that a flit payload
+	// bit flips on the wire. The per-flit checksum detects it at the
+	// final delivery and marks the packet Corrupted.
+	CorruptRate float64
+
+	// CreditLossRate is the per-pulse probability that a returning
+	// credit is lost, permanently wedging the upstream view of the VC —
+	// the fault the VC-leak watchdog exists to catch.
+	CreditLossRate float64
+
+	// ConsumerStallRate is the per-cycle probability that a random
+	// node's ejection consumer wedges for ConsumerStallDur cycles
+	// (0 → 256; < 0 → permanent), backing its queues up into the
+	// network.
+	ConsumerStallRate float64
+	ConsumerStallDur  int64
+
+	// Seed perturbs the injector's generator independently of the
+	// simulation seed.
+	Seed int64
+
+	// Events are targeted one-shot faults, fired in At order.
+	Events []Event
+}
+
+// Empty reports whether the plan injects nothing.
+func (p Plan) Empty() bool {
+	return p.LinkFailRate == 0 && p.PortStallRate == 0 && p.CorruptRate == 0 &&
+		p.CreditLossRate == 0 && p.ConsumerStallRate == 0 && len(p.Events) == 0
+}
+
+// Scale returns a copy with every rate multiplied by f (clamped to 1).
+// Targeted events are not scaled. Resilience sweeps use it to walk a
+// fault-intensity axis from a single base plan.
+func (p Plan) Scale(f float64) Plan {
+	s := p
+	s.LinkFailRate = clamp01(p.LinkFailRate * f)
+	s.PortStallRate = clamp01(p.PortStallRate * f)
+	s.CorruptRate = clamp01(p.CorruptRate * f)
+	s.CreditLossRate = clamp01(p.CreditLossRate * f)
+	s.ConsumerStallRate = clamp01(p.ConsumerStallRate * f)
+	return s
+}
+
+func clamp01(v float64) float64 {
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// ParsePlan parses a compact fault-plan spec:
+//
+//	spec    := clause (";" clause)*
+//	clause  := kind [":" param ("," param)*] | "seed=" int
+//	kind    := "linkfail" | "portstall" | "corrupt" | "creditloss" | "stallconsumer"
+//	param   := key "=" value | "perm"
+//
+// Random faults take rate= (and dur= where applicable). A clause with
+// at= instead describes a targeted one-shot Event and requires a victim
+// (link= for linkfail; node= and port= for portstall; node= for
+// stallconsumer); its duration defaults to permanent. "perm" is
+// shorthand for dur=-1. The empty string parses to the zero Plan.
+func ParsePlan(spec string) (Plan, error) {
+	var p Plan
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "none" {
+		return p, nil
+	}
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		if err := p.parseClause(clause); err != nil {
+			return Plan{}, err
+		}
+	}
+	return p, nil
+}
+
+// MustParsePlan is ParsePlan for specs already validated (Build paths
+// whose callers checked the spec at flag-parse time).
+func MustParsePlan(spec string) Plan {
+	p, err := ParsePlan(spec)
+	if err != nil {
+		panic(fmt.Sprintf("faults: %v", err))
+	}
+	return p
+}
+
+func (p *Plan) parseClause(clause string) error {
+	kind, rest, hasParams := strings.Cut(clause, ":")
+	kind = strings.TrimSpace(kind)
+	if k, v, ok := strings.Cut(kind, "="); ok && !hasParams {
+		if strings.TrimSpace(k) != "seed" {
+			return fmt.Errorf("unknown directive %q", k)
+		}
+		n, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad seed %q", v)
+		}
+		p.Seed = n
+		return nil
+	}
+	kv := map[string]string{}
+	if hasParams {
+		for _, param := range strings.Split(rest, ",") {
+			param = strings.TrimSpace(param)
+			if param == "" {
+				continue
+			}
+			if param == "perm" {
+				kv["dur"] = "-1"
+				continue
+			}
+			k, v, ok := strings.Cut(param, "=")
+			if !ok {
+				return fmt.Errorf("clause %q: parameter %q is not key=value", kind, param)
+			}
+			kv[strings.TrimSpace(k)] = strings.TrimSpace(v)
+		}
+	}
+	get := func(key string) (string, bool) { v, ok := kv[key]; delete(kv, key); return v, ok }
+	num := func(key string, def int64) (int64, error) {
+		v, ok := get(key)
+		if !ok {
+			return def, nil
+		}
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("clause %q: bad %s %q", kind, key, v)
+		}
+		return n, nil
+	}
+	rate := func() (float64, error) {
+		v, ok := get("rate")
+		if !ok {
+			return 0, fmt.Errorf("clause %q: missing rate=", kind)
+		}
+		r, err := strconv.ParseFloat(v, 64)
+		if err != nil || r < 0 || r > 1 {
+			return 0, fmt.Errorf("clause %q: rate %q outside [0,1]", kind, v)
+		}
+		return r, nil
+	}
+	_, targeted := kv["at"]
+	var err error
+	switch {
+	case targeted:
+		ev := Event{Dur: -1}
+		if ev.At, err = num("at", 0); err != nil {
+			return err
+		}
+		if ev.Dur, err = num("dur", -1); err != nil {
+			return err
+		}
+		switch kind {
+		case "linkfail":
+			ev.Kind = EvLinkFail
+			ev.Link = -1
+			if v, ok := kv["link"]; ok {
+				delete(kv, "link")
+				if n, e := strconv.ParseInt(v, 10, 32); e == nil {
+					ev.Link = int(n)
+				}
+			}
+			if ev.Link < 0 {
+				return fmt.Errorf("clause %q: targeted linkfail needs link=", kind)
+			}
+		case "portstall":
+			ev.Kind = EvPortStall
+			node, nerr := num("node", -1)
+			port, perr := num("port", -1)
+			if nerr != nil || perr != nil || node < 0 || port < 0 {
+				return fmt.Errorf("clause %q: targeted portstall needs node= and port=", kind)
+			}
+			ev.Node, ev.Port = int(node), int(port)
+		case "stallconsumer":
+			ev.Kind = EvConsumerStall
+			node, nerr := num("node", -1)
+			if nerr != nil || node < 0 {
+				return fmt.Errorf("clause %q: targeted stallconsumer needs node=", kind)
+			}
+			ev.Node = int(node)
+		default:
+			return fmt.Errorf("clause %q does not take at=", kind)
+		}
+		p.Events = append(p.Events, ev)
+	case kind == "linkfail":
+		if p.LinkFailRate, err = rate(); err != nil {
+			return err
+		}
+		if p.LinkFailDur, err = num("dur", 0); err != nil {
+			return err
+		}
+	case kind == "portstall":
+		if p.PortStallRate, err = rate(); err != nil {
+			return err
+		}
+		if p.PortStallDur, err = num("dur", 0); err != nil {
+			return err
+		}
+	case kind == "corrupt":
+		if p.CorruptRate, err = rate(); err != nil {
+			return err
+		}
+	case kind == "creditloss":
+		if p.CreditLossRate, err = rate(); err != nil {
+			return err
+		}
+	case kind == "stallconsumer":
+		if p.ConsumerStallRate, err = rate(); err != nil {
+			return err
+		}
+		if p.ConsumerStallDur, err = num("dur", 0); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown fault kind %q", kind)
+	}
+	for k := range kv {
+		return fmt.Errorf("clause %q: unknown parameter %q", kind, k)
+	}
+	return nil
+}
+
+// Counters aggregates injected-fault activity for reports and the
+// resilience CSV.
+type Counters struct {
+	LinkFails           int64 // link-failure onsets
+	PortStalls          int64 // input-port stall onsets
+	ConsumerStalls      int64 // ejection-consumer stall onsets
+	FlitsCorrupted      int64 // payload bits flipped on the wire
+	CorruptionsDetected int64 // checksum mismatches caught at delivery
+	CreditsLost         int64 // credit pulses dropped
+}
+
+// Injector applies a Plan to one simulation. All bookkeeping lives in
+// slots preallocated at construction — BeginCycle and the per-event
+// queries never touch the allocator, keeping the zero-alloc steady
+// state intact.
+//
+// An Injector is not concurrency-safe; like message.Pool it belongs to
+// exactly one single-threaded simulation.
+type Injector struct {
+	plan Plan
+	rng  *rand.Rand
+
+	numLinks, numNodes, numPorts int
+
+	// *Until hold absolute expiry cycles per victim (MaxInt64 =
+	// permanent); a victim is faulty while cycle < until.
+	linkDownUntil      []int64
+	portStallUntil     []int64 // node*numPorts + port
+	consumerStallUntil []int64
+
+	events    []Event // sorted by At
+	nextEvent int
+	cycle     int64
+
+	// Counters aggregates everything injected so far.
+	Counters Counters
+}
+
+// NewInjector builds an injector for a topology of numLinks directed
+// links and numNodes routers with numPorts ports each. The simulation
+// seed is folded with the plan seed so distinct runs draw distinct
+// fault sequences while staying reproducible.
+func NewInjector(plan Plan, numLinks, numNodes, numPorts int, seed int64) *Injector {
+	if numLinks < 1 || numNodes < 1 || numPorts < 2 {
+		panic(fmt.Sprintf("faults: degenerate topology (%d links, %d nodes, %d ports)", numLinks, numNodes, numPorts))
+	}
+	j := &Injector{
+		plan:               plan,
+		rng:                rand.New(rand.NewSource(plan.Seed ^ (seed+1)*0x5deece66d)),
+		numLinks:           numLinks,
+		numNodes:           numNodes,
+		numPorts:           numPorts,
+		linkDownUntil:      make([]int64, numLinks),
+		portStallUntil:     make([]int64, numNodes*numPorts),
+		consumerStallUntil: make([]int64, numNodes),
+	}
+	if plan.LinkFailDur == 0 {
+		j.plan.LinkFailDur = 64
+	}
+	if plan.PortStallDur == 0 {
+		j.plan.PortStallDur = 32
+	}
+	if plan.ConsumerStallDur == 0 {
+		j.plan.ConsumerStallDur = 256
+	}
+	j.events = append(j.events, plan.Events...)
+	sort.SliceStable(j.events, func(a, b int) bool { return j.events[a].At < j.events[b].At })
+	for _, ev := range j.events {
+		switch ev.Kind {
+		case EvLinkFail:
+			if ev.Link >= numLinks {
+				panic(fmt.Sprintf("faults: event link %d outside topology (%d links)", ev.Link, numLinks))
+			}
+		case EvPortStall:
+			if ev.Node >= numNodes || ev.Port >= numPorts {
+				panic(fmt.Sprintf("faults: event port (%d,%d) outside topology", ev.Node, ev.Port))
+			}
+		case EvConsumerStall:
+			if ev.Node >= numNodes {
+				panic(fmt.Sprintf("faults: event node %d outside topology (%d nodes)", ev.Node, numNodes))
+			}
+		}
+	}
+	return j
+}
+
+// Plan returns the (duration-defaulted) plan in force.
+func (j *Injector) Plan() Plan { return j.plan }
+
+func (j *Injector) until(dur int64) int64 {
+	if dur < 0 {
+		return math.MaxInt64
+	}
+	return j.cycle + dur
+}
+
+// BeginCycle advances fault state to the given cycle: due targeted
+// events fire, and each rate-driven category rolls for at most one new
+// fault. Call exactly once per cycle before controllers run.
+func (j *Injector) BeginCycle(cycle int64) {
+	j.cycle = cycle
+	for j.nextEvent < len(j.events) && j.events[j.nextEvent].At <= cycle {
+		j.fire(j.events[j.nextEvent])
+		j.nextEvent++
+	}
+	p := &j.plan
+	if p.LinkFailRate > 0 && j.rng.Float64() < p.LinkFailRate {
+		j.failLink(j.rng.Intn(j.numLinks), p.LinkFailDur)
+	}
+	if p.PortStallRate > 0 && j.rng.Float64() < p.PortStallRate {
+		// Network ports only; a Local stall is a consumer/injection
+		// pathology, modelled by stallconsumer.
+		j.stallPort(j.rng.Intn(j.numNodes), 1+j.rng.Intn(j.numPorts-1), p.PortStallDur)
+	}
+	if p.ConsumerStallRate > 0 && j.rng.Float64() < p.ConsumerStallRate {
+		j.stallConsumer(j.rng.Intn(j.numNodes), p.ConsumerStallDur)
+	}
+}
+
+func (j *Injector) fire(ev Event) {
+	switch ev.Kind {
+	case EvLinkFail:
+		j.failLink(ev.Link, ev.Dur)
+	case EvPortStall:
+		j.stallPort(ev.Node, ev.Port, ev.Dur)
+	case EvConsumerStall:
+		j.stallConsumer(ev.Node, ev.Dur)
+	}
+}
+
+func (j *Injector) failLink(link int, dur int64) {
+	j.linkDownUntil[link] = j.until(dur)
+	j.Counters.LinkFails++
+}
+
+func (j *Injector) stallPort(node, port int, dur int64) {
+	j.portStallUntil[node*j.numPorts+port] = j.until(dur)
+	j.Counters.PortStalls++
+}
+
+func (j *Injector) stallConsumer(node int, dur int64) {
+	j.consumerStallUntil[node] = j.until(dur)
+	j.Counters.ConsumerStalls++
+}
+
+// LinkDown reports whether the directed link is currently failed.
+func (j *Injector) LinkDown(link int) bool { return j.cycle < j.linkDownUntil[link] }
+
+// PortStalled reports whether a router input port is currently frozen.
+func (j *Injector) PortStalled(node, port int) bool {
+	return j.cycle < j.portStallUntil[node*j.numPorts+port]
+}
+
+// ConsumerStalled reports whether the node's ejection consumer is
+// currently wedged.
+func (j *Injector) ConsumerStalled(node int) bool {
+	return j.cycle < j.consumerStallUntil[node]
+}
+
+// RollCorrupt draws one corruption decision for a flit traversing a
+// link, counting hits.
+func (j *Injector) RollCorrupt() bool {
+	if j.plan.CorruptRate <= 0 {
+		return false
+	}
+	if j.rng.Float64() >= j.plan.CorruptRate {
+		return false
+	}
+	j.Counters.FlitsCorrupted++
+	return true
+}
+
+// CorruptWord flips one uniformly random bit of a payload word.
+func (j *Injector) CorruptWord(w uint64) uint64 { return w ^ (1 << uint(j.rng.Intn(64))) }
+
+// RollCreditLoss draws one loss decision for a credit pulse, counting
+// hits.
+func (j *Injector) RollCreditLoss() bool {
+	if j.plan.CreditLossRate <= 0 {
+		return false
+	}
+	if j.rng.Float64() >= j.plan.CreditLossRate {
+		return false
+	}
+	j.Counters.CreditsLost++
+	return true
+}
+
+// NoteCorruptionDetected records a checksum mismatch caught at
+// delivery.
+func (j *Injector) NoteCorruptionDetected() { j.Counters.CorruptionsDetected++ }

@@ -1,0 +1,204 @@
+package faults
+
+import (
+	"math/bits"
+	"testing"
+)
+
+func TestParsePlanFull(t *testing.T) {
+	spec := "linkfail:rate=2e-4,dur=64; portstall:rate=1e-4,dur=32; corrupt:rate=1e-3;" +
+		"creditloss:rate=5e-5; stallconsumer:rate=1e-5,dur=256; seed=7;" +
+		"stallconsumer:node=5,at=100,perm; linkfail:link=3,at=50,dur=20; portstall:node=2,port=4,at=10"
+	p, err := ParsePlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.LinkFailRate != 2e-4 || p.LinkFailDur != 64 {
+		t.Errorf("linkfail = %v/%v", p.LinkFailRate, p.LinkFailDur)
+	}
+	if p.PortStallRate != 1e-4 || p.PortStallDur != 32 {
+		t.Errorf("portstall = %v/%v", p.PortStallRate, p.PortStallDur)
+	}
+	if p.CorruptRate != 1e-3 || p.CreditLossRate != 5e-5 {
+		t.Errorf("corrupt/creditloss = %v/%v", p.CorruptRate, p.CreditLossRate)
+	}
+	if p.ConsumerStallRate != 1e-5 || p.ConsumerStallDur != 256 {
+		t.Errorf("stallconsumer = %v/%v", p.ConsumerStallRate, p.ConsumerStallDur)
+	}
+	if p.Seed != 7 {
+		t.Errorf("seed = %d", p.Seed)
+	}
+	if len(p.Events) != 3 {
+		t.Fatalf("events = %d, want 3", len(p.Events))
+	}
+	ev := p.Events[0]
+	if ev.Kind != EvConsumerStall || ev.Node != 5 || ev.At != 100 || ev.Dur != -1 {
+		t.Errorf("event 0 = %+v", ev)
+	}
+	ev = p.Events[1]
+	if ev.Kind != EvLinkFail || ev.Link != 3 || ev.At != 50 || ev.Dur != 20 {
+		t.Errorf("event 1 = %+v", ev)
+	}
+	ev = p.Events[2]
+	if ev.Kind != EvPortStall || ev.Node != 2 || ev.Port != 4 || ev.Dur != -1 {
+		t.Errorf("event 2 = %+v", ev)
+	}
+}
+
+func TestParsePlanEmpty(t *testing.T) {
+	for _, spec := range []string{"", "  ", "none"} {
+		p, err := ParsePlan(spec)
+		if err != nil {
+			t.Fatalf("%q: %v", spec, err)
+		}
+		if !p.Empty() {
+			t.Errorf("%q: plan not empty: %+v", spec, p)
+		}
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	bad := []string{
+		"linkfail",                    // missing rate
+		"linkfail:rate=2",             // rate outside [0,1]
+		"linkfail:rate=x",             // unparsable
+		"meteor:rate=0.1",             // unknown kind
+		"linkfail:rate=0.1,knob=3",    // unknown parameter
+		"linkfail:at=5",               // targeted without link=
+		"portstall:node=1,at=5",       // targeted without port=
+		"stallconsumer:at=5",          // targeted without node=
+		"corrupt:rate=0.1,at=3",       // kind does not take at=
+		"seed=x",                      // bad seed
+		"frobnicate=1",                // unknown directive
+		"linkfail:rate=0.1,dur=x",     // bad duration
+		"portstall:rate=0.1;portstall:node=a,port=1,at=1", // bad node
+	}
+	for _, spec := range bad {
+		if _, err := ParsePlan(spec); err == nil {
+			t.Errorf("%q: expected parse error", spec)
+		}
+	}
+}
+
+func TestScaleClamps(t *testing.T) {
+	p, err := ParsePlan("linkfail:rate=0.4;corrupt:rate=0.001;stallconsumer:node=1,at=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.Scale(10)
+	if s.LinkFailRate != 1 {
+		t.Errorf("scaled linkfail rate = %v, want clamp to 1", s.LinkFailRate)
+	}
+	if s.CorruptRate != 0.01 {
+		t.Errorf("scaled corrupt rate = %v", s.CorruptRate)
+	}
+	if len(s.Events) != 1 {
+		t.Errorf("scaling dropped events")
+	}
+	z := p.Scale(0)
+	if z.LinkFailRate != 0 || z.CorruptRate != 0 || len(z.Events) != 1 {
+		t.Errorf("zero scale should zero all rates, keep events: %+v", z)
+	}
+}
+
+// schedule fingerprints the injector's fault state over a window.
+func schedule(j *Injector, links, nodes, ports, cycles int) []uint64 {
+	var out []uint64
+	var h uint64
+	for c := 0; c < cycles; c++ {
+		j.BeginCycle(int64(c))
+		h = 0
+		for l := 0; l < links; l++ {
+			if j.LinkDown(l) {
+				h = h*31 + uint64(l) + 1
+			}
+		}
+		for n := 0; n < nodes; n++ {
+			if j.ConsumerStalled(n) {
+				h = h*37 + uint64(n) + 1
+			}
+			for p := 0; p < ports; p++ {
+				if j.PortStalled(n, p) {
+					h = h*41 + uint64(n*ports+p) + 1
+				}
+			}
+		}
+		out = append(out, h)
+	}
+	return out
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	plan := MustParsePlan("linkfail:rate=0.02,dur=16;portstall:rate=0.02,dur=8;stallconsumer:rate=0.01,dur=12")
+	a := schedule(NewInjector(plan, 48, 16, 5, 42), 48, 16, 5, 2000)
+	b := schedule(NewInjector(plan, 48, 16, 5, 42), 48, 16, 5, 2000)
+	if len(a) != len(b) {
+		t.Fatal("length mismatch")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault schedules diverge at cycle %d", i)
+		}
+	}
+	c := schedule(NewInjector(plan, 48, 16, 5, 43), 48, 16, 5, 2000)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical fault schedules")
+	}
+}
+
+func TestTargetedEventWindow(t *testing.T) {
+	plan := MustParsePlan("linkfail:link=3,at=50,dur=20;stallconsumer:node=2,at=10,perm")
+	j := NewInjector(plan, 48, 16, 5, 1)
+	for c := int64(0); c < 200; c++ {
+		j.BeginCycle(c)
+		wantDown := c >= 50 && c < 70
+		if got := j.LinkDown(3); got != wantDown {
+			t.Fatalf("cycle %d: LinkDown(3) = %v, want %v", c, got, wantDown)
+		}
+		if got := j.ConsumerStalled(2); got != (c >= 10) {
+			t.Fatalf("cycle %d: ConsumerStalled(2) = %v", c, got)
+		}
+		if j.LinkDown(0) || j.ConsumerStalled(0) {
+			t.Fatalf("cycle %d: fault leaked to untargeted victim", c)
+		}
+	}
+	if j.Counters.LinkFails != 1 || j.Counters.ConsumerStalls != 1 {
+		t.Errorf("counters = %+v", j.Counters)
+	}
+}
+
+func TestRolls(t *testing.T) {
+	j := NewInjector(MustParsePlan("corrupt:rate=1;creditloss:rate=1"), 4, 2, 5, 1)
+	j.BeginCycle(0)
+	if !j.RollCorrupt() || !j.RollCreditLoss() {
+		t.Error("rate-1 rolls must always hit")
+	}
+	if j.Counters.FlitsCorrupted != 1 || j.Counters.CreditsLost != 1 {
+		t.Errorf("counters = %+v", j.Counters)
+	}
+	z := NewInjector(Plan{}, 4, 2, 5, 1)
+	z.BeginCycle(0)
+	if z.RollCorrupt() || z.RollCreditLoss() {
+		t.Error("zero plan must never roll a fault")
+	}
+	w := j.CorruptWord(0xdeadbeef)
+	if bits.OnesCount64(w^0xdeadbeef) != 1 {
+		t.Errorf("CorruptWord must flip exactly one bit (flipped %d)", bits.OnesCount64(w^0xdeadbeef))
+	}
+}
+
+func TestEventValidationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range event link should panic at construction")
+		}
+	}()
+	NewInjector(MustParsePlan("linkfail:link=99,at=1"), 10, 4, 5, 1)
+}

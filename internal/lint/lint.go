@@ -18,6 +18,10 @@
 //	             the hot-path packages (internal/{nic,router,network});
 //	             the steady-state zero-allocs-per-cycle contract
 //	             depends on it
+//	wallclock  — no reference to package time at all in
+//	             internal/{faults,invariant}; fault schedules and
+//	             watchdog bounds are simulated cycles, so a wedged run
+//	             trips at the same cycle on every machine
 //
 // Findings can be silenced with a `//nocvet:ignore <rule> <reason>`
 // comment on the offending line or the line directly above it. The
@@ -57,7 +61,7 @@ type Analyzer interface {
 
 // All returns the full analyzer suite in report order.
 func All() []Analyzer {
-	return []Analyzer{DetRand{}, MapOrder{}, CycleWidth{}, PanicStyle{}, HotAlloc{}}
+	return []Analyzer{DetRand{}, MapOrder{}, CycleWidth{}, PanicStyle{}, HotAlloc{}, Wallclock{}}
 }
 
 // ByName resolves a comma-separated rule list ("detrand,panicstyle").

@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Wallclock bans package time outright in the fault-injection and
+// invariant-watchdog packages. DetRand already stops the obvious clock
+// reads everywhere under internal/; this rule is stricter because these
+// two packages sit inside the determinism proof itself: the fault
+// schedule and every watchdog bound must be expressed in simulated
+// cycles, and even a stray time.Duration is a wall-clock-shaped knob
+// that invites somebody to wire it to the host. If a run wedges, the
+// watchdog must trip at the same cycle on every machine and at every
+// -j, or the deadlock golden tests mean nothing.
+type Wallclock struct{}
+
+func (Wallclock) Name() string { return "wallclock" }
+func (Wallclock) Doc() string {
+	return "forbid any reference to package time in internal/{faults,invariant}"
+}
+
+// wallclockScoped limits the rule to the two cycle-driven packages (and
+// the lint fixture, which loads itself by directory).
+func wallclockScoped(path string) bool {
+	return strings.HasSuffix(path, "/internal/faults") ||
+		strings.HasSuffix(path, "/internal/invariant") ||
+		strings.HasSuffix(path, "/testdata/src/wallclock")
+}
+
+func (Wallclock) Run(p *Package) []Finding {
+	if !wallclockScoped(p.Path) {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ImportSpec:
+				if strings.Trim(n.Path.Value, `"`) == "time" {
+					out = append(out, p.finding("wallclock", n,
+						"import of package time: fault schedules and watchdog bounds are simulated cycles, not host durations"))
+				}
+			case *ast.Ident:
+				obj := p.Info.Uses[n]
+				if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+					return true
+				}
+				if _, isPkgName := obj.(*types.PkgName); isPkgName {
+					return true // the qualifier; the selected member is reported instead
+				}
+				out = append(out, p.finding("wallclock", n,
+					"reference to time.%s: fault and watchdog code takes time from the cycle counter, never the host clock", obj.Name()))
+			}
+			return true
+		})
+	}
+	return out
+}

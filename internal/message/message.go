@@ -111,6 +111,12 @@ type Packet struct {
 	// Hops counts link traversals, for sanity checks on minimal routing.
 	Hops int
 
+	// Corrupted marks a packet whose payload checksum failed at
+	// delivery (fault injection flipped a bit on a link). The packet
+	// still arrives — detection, not correction — and resilience
+	// experiments count it as a detected-corrupt delivery.
+	Corrupted bool
+
 	// recycled marks a packet currently resting in a Pool's free list.
 	// It exists purely as the arena's use-after-free guard: Put sets it,
 	// Get clears it, and both panic when the marker contradicts them.
@@ -150,6 +156,32 @@ func (p *Packet) Flits() []Flit {
 		fs[i] = Flit{Pkt: p, Seq: i}
 	}
 	return fs
+}
+
+// FlitPayload derives the deterministic payload word carried by flit
+// seq of packet id. The simulator doesn't move real data, so the wire
+// payload is a pure function of identity — which is exactly what lets
+// the receiver recompute it and a checksum mismatch prove in-flight
+// corruption. The mixer is splitmix64: every (id, seq) maps to a
+// well-spread 64-bit word.
+func FlitPayload(id uint64, seq int) uint64 {
+	x := id + uint64(seq)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Checksum is the 8-bit XOR fold of a payload word. Each payload bit
+// feeds exactly one checksum bit, so any single-bit flip — the fault
+// model's corruption unit — is always detected.
+func Checksum(payload uint64) uint8 {
+	payload ^= payload >> 32
+	payload ^= payload >> 16
+	payload ^= payload >> 8
+	return uint8(payload)
 }
 
 // Latency returns the total packet latency in cycles (creation at the

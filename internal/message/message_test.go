@@ -139,3 +139,34 @@ func TestFlitsProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Every single-bit corruption of a flit payload must change its
+// checksum — the property the fault model's detection rests on.
+func TestChecksumDetectsEverySingleBitFlip(t *testing.T) {
+	for _, id := range []uint64{1, 42, 1 << 40} {
+		for seq := 0; seq < 5; seq++ {
+			w := FlitPayload(id, seq)
+			sum := Checksum(w)
+			for bit := 0; bit < 64; bit++ {
+				if Checksum(w^(1<<uint(bit))) == sum {
+					t.Fatalf("flip of bit %d of payload(%d,%d) undetected", bit, id, seq)
+				}
+			}
+		}
+	}
+}
+
+// Payloads must differ across flits of a packet and across packets, or
+// a misrouted/duplicated flit would checksum clean.
+func TestFlitPayloadSpread(t *testing.T) {
+	seen := map[uint64]bool{}
+	for id := uint64(1); id <= 64; id++ {
+		for seq := 0; seq < 5; seq++ {
+			w := FlitPayload(id, seq)
+			if seen[w] {
+				t.Fatalf("payload collision at (%d,%d)", id, seq)
+			}
+			seen[w] = true
+		}
+	}
+}

@@ -29,7 +29,10 @@ type Pool struct {
 func NewPool() *Pool { return &Pool{} }
 
 // blank is what a released packet must still look like when it is
-// handed out again: all zero except the recycled marker.
+// handed out again: all zero except the recycled marker. The ID is the
+// one deliberate exception — Put keeps it so poison panics (double
+// release, dirtied packet) can name the packet; Get masks it out of the
+// hygiene comparison.
 var blank = Packet{recycled: true}
 
 // Get returns a packet initialised exactly as NewPacket would build it.
@@ -39,8 +42,11 @@ func (pl *Pool) Get(id uint64, src, dst int, class Class, flits int, cycle int64
 		p := pl.free[n-1]
 		pl.free[n-1] = nil
 		pl.free = pl.free[:n-1]
-		if *p != blank {
-			panic(fmt.Sprintf("message: pooled packet dirtied after release (%+v)", *p))
+		was := *p
+		was.ID = 0
+		if was != blank {
+			panic(fmt.Sprintf("message: pooled packet %d dirtied after release while handing out packet %d at cycle %d (%+v)",
+				p.ID, id, cycle, *p))
 		}
 		if flits < 1 {
 			panic(fmt.Sprintf("message: packet %d with %d flits", id, flits))
@@ -57,15 +63,24 @@ func (pl *Pool) Get(id uint64, src, dst int, class Class, flits int, cycle int64
 // Put releases a packet back to the arena. The caller must hold the
 // only live reference; the packet is fully reset so no field of its
 // previous life can leak into the next. Releasing the same packet twice
-// without an intervening Get panics.
-func (pl *Pool) Put(p *Packet) {
+// without an intervening Get panics. Callers that know which NIC owns
+// the release and what cycle it is should prefer PutCtx — in fault runs
+// a poison panic without that context is undebuggable.
+func (pl *Pool) Put(p *Packet) { pl.PutCtx(p, -1, -1) }
+
+// PutCtx is Put with provenance: owner is the NIC releasing the packet
+// and cycle the simulation time, both folded into the poison panic so a
+// double release points at the guilty node and moment (-1 = unknown).
+func (pl *Pool) PutCtx(p *Packet, owner int, cycle int64) {
 	if p == nil {
 		return
 	}
 	if p.recycled {
-		panic(fmt.Sprintf("message: double release of packet %d", p.ID))
+		panic(fmt.Sprintf("message: double release of packet %d (owner NIC %d, cycle %d)", p.ID, owner, cycle))
 	}
+	id := p.ID
 	*p = blank
+	p.ID = id
 	pl.free = append(pl.free, p)
 	pl.Puts++
 }

@@ -2,6 +2,7 @@ package message
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 )
 
@@ -34,6 +35,31 @@ func TestPoolDoublePutPanics(t *testing.T) {
 		}
 	}()
 	pl.Put(p)
+}
+
+// A poison panic from a fault run must name the packet, the releasing
+// NIC and the cycle — the context that makes a double free in a
+// corrupted simulation debuggable at all.
+func TestPoolDoublePutPanicNamesOwnerAndCycle(t *testing.T) {
+	pl := NewPool()
+	p := pl.Get(42, 0, 1, Request, 1, 0)
+	pl.PutCtx(p, 7, 1234)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("double PutCtx did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value %T, want string", r)
+		}
+		for _, want := range []string{"packet 42", "owner NIC 7", "cycle 5678"} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("panic %q missing %q", msg, want)
+			}
+		}
+	}()
+	pl.PutCtx(p, 7, 5678)
 }
 
 func TestPoolDetectsMutationAfterRelease(t *testing.T) {
@@ -79,6 +105,7 @@ func TestPoolHygieneFuzz(t *testing.T) {
 			got.Dropped = rng.Intn(3)
 			got.Rejected = rng.Intn(2) == 0
 			got.Hops = rng.Intn(16)
+			got.Corrupted = rng.Intn(2) == 0
 			inflight = append(inflight, got)
 		} else {
 			i := rng.Intn(len(inflight))

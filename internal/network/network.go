@@ -16,6 +16,7 @@ import (
 	"iter"
 	"math/rand"
 
+	"repro/internal/faults"
 	"repro/internal/message"
 	"repro/internal/nic"
 	"repro/internal/router"
@@ -45,11 +46,15 @@ func (NopController) PreCycle(*Network) {}
 // PostCycle implements Controller.
 func (NopController) PostCycle(*Network) {}
 
-// transit is a flit in flight on a directed link.
+// transit is a flit in flight on a directed link. When fault injection
+// is attached the flit also carries its payload word and per-flit
+// checksum, so wire corruption is detected — not assumed — at delivery.
 type transit struct {
-	flit  message.Flit
-	vc    int
-	valid bool
+	flit    message.Flit
+	vc      int
+	valid   bool
+	payload uint64
+	sum     uint8
 }
 
 // channel is one directed link: a one-stage flit pipeline downstream and
@@ -103,6 +108,18 @@ type Network struct {
 	// FlitsOnLinks counts regular flit-cycles spent on links (link
 	// utilisation statistics).
 	FlitsOnLinks int64
+
+	// faults, when attached, degrades the hardware each cycle: failed
+	// links refuse new regular flits, stalled ports freeze, wire bits
+	// flip, credit pulses vanish. Nil on healthy runs — every fault
+	// check is behind a nil test, so the common path pays one branch.
+	faults *faults.Injector
+
+	// Probe, when set, runs at the end of every Step, after registers
+	// shift and before the cycle counter advances. The invariant
+	// watchdogs hang off it; a plain func field keeps the dependency
+	// one-way (invariant imports network, never the reverse).
+	Probe func()
 }
 
 // New builds a network. The Controller starts as a no-op; schemes attach
@@ -144,13 +161,35 @@ func (n *Network) NIC(node int) *nic.NIC { return n.NICs[node] }
 // Nodes reports the node count (protocol backend).
 func (n *Network) Nodes() int { return n.Mesh.NumNodes() }
 
+// AttachFaults wires a fault injector into the network. Call before the
+// first Step.
+func (n *Network) AttachFaults(inj *faults.Injector) { n.faults = inj }
+
+// Faults returns the attached injector, or nil.
+func (n *Network) Faults() *faults.Injector { return n.faults }
+
 // --- router.Env implementation ---
 
 // Cycle implements router.Env.
 func (n *Network) Cycle() int64 { return n.cycle }
 
-// LinkClaimed implements router.Env.
-func (n *Network) LinkClaimed(linkID int) bool { return n.linkClaims[linkID] }
+// LinkClaimed implements router.Env. A failed link reads as claimed:
+// routers stop driving new regular flits onto it, exactly as they do
+// for a bypass claim. The claim array itself is untouched, so FastPass
+// lanes — dedicated wiring in the paper's router (Fig. 6) — keep
+// claiming and traversing; rescuing packets wedged against broken
+// shared links is precisely the resilience story under test.
+func (n *Network) LinkClaimed(linkID int) bool {
+	if n.faults != nil && n.faults.LinkDown(linkID) {
+		return true
+	}
+	return n.linkClaims[linkID]
+}
+
+// InputStalled implements router.Env.
+func (n *Network) InputStalled(node int, port int) bool {
+	return n.faults != nil && n.faults.PortStalled(node, port)
+}
 
 // EjectClaimed implements router.Env.
 func (n *Network) EjectClaimed(node int) bool { return n.ejectClaims[node] }
@@ -161,7 +200,12 @@ func (n *Network) SendFlit(linkID int, f message.Flit, outVC int) {
 	if ch.next.valid {
 		panic(fmt.Sprintf("network: two flits driven onto link %d in cycle %d", linkID, n.cycle))
 	}
-	ch.next = transit{flit: f, vc: outVC, valid: true}
+	tr := transit{flit: f, vc: outVC, valid: true}
+	if n.faults != nil {
+		tr.payload = message.FlitPayload(f.Pkt.ID, f.Seq)
+		tr.sum = message.Checksum(tr.payload)
+	}
+	ch.next = tr
 	n.FlitsOnLinks++
 	n.markChannel(linkID)
 }
@@ -287,6 +331,11 @@ func (n *Network) Step() {
 		n.ejectClaims[id] = false
 	}
 	n.claimedEjects = n.claimedEjects[:0]
+	// Fault state advances before controllers and routers observe the
+	// cycle, so a link that fails this cycle refuses flits this cycle.
+	if n.faults != nil {
+		n.faults.BeginCycle(n.cycle)
+	}
 	n.Controller.PreCycle(n)
 	nics := &n.activeNICs
 	for nics.cur = 0; nics.cur < len(nics.ids); nics.cur++ {
@@ -300,6 +349,9 @@ func (n *Network) Step() {
 	routers.cur = -1
 	n.Controller.PostCycle(n)
 	n.shift()
+	if n.Probe != nil {
+		n.Probe()
+	}
 	n.cycle++
 }
 
@@ -319,6 +371,13 @@ func (n *Network) shift() {
 		id := n.dirtyChannels[i]
 		ch := n.channels[id]
 		if ch.cur.valid {
+			// Delivery is where the per-flit checksum is recomputed: a
+			// payload bit flipped on the wire surfaces here and marks
+			// the packet, never silently.
+			if n.faults != nil && message.Checksum(ch.cur.payload) != ch.cur.sum {
+				ch.cur.flit.Pkt.Corrupted = true
+				n.faults.NoteCorruptionDetected()
+			}
 			dst := n.Routers[ch.link.Dst]
 			if ch.cur.flit.IsHead() {
 				dst.DeliverHead(ch.link.DstPort, ch.cur.vc, ch.cur.flit.Pkt)
@@ -328,9 +387,20 @@ func (n *Network) shift() {
 		}
 		ch.cur = ch.next
 		ch.next = transit{}
+		// The flit that just crossed the wire may have had a bit
+		// flipped by the injected corruption rate.
+		if n.faults != nil && ch.cur.valid && n.faults.RollCorrupt() {
+			ch.cur.payload = n.faults.CorruptWord(ch.cur.payload)
+		}
 		if len(ch.creditNext) > 0 {
 			src := n.Routers[ch.link.Src]
 			for _, vc := range ch.creditNext {
+				// A lost credit pulse never reaches the source: its
+				// view of the downstream VC stays claimed forever —
+				// the leak the credit-conservation watchdog hunts.
+				if n.faults != nil && n.faults.RollCreditLoss() {
+					continue
+				}
 				src.MarkVCFree(ch.link.SrcPort, vc)
 			}
 			ch.creditNext = ch.creditNext[:0]
@@ -416,4 +486,47 @@ func (n *Network) SourceBacklog() int {
 		t += nc.TotalSourceDepth()
 	}
 	return t
+}
+
+// NumChannels reports the number of directed links (invariant probes
+// index channels 0..NumChannels-1).
+func (n *Network) NumChannels() int { return len(n.channels) }
+
+// ChannelLink returns the topology link a channel index corresponds to.
+func (n *Network) ChannelLink(i int) topology.Link { return n.channels[i].link }
+
+// ChannelCarries reports whether channel i currently holds a flit for
+// downstream VC vc in either pipeline stage (latch or wire). While it
+// does, the source legitimately sees that VC as claimed even though the
+// flit is not yet buffered downstream — the credit audit must not call
+// that a leak.
+func (n *Network) ChannelCarries(i int, vc int) bool {
+	ch := n.channels[i]
+	return (ch.cur.valid && ch.cur.vc == vc) || (ch.next.valid && ch.next.vc == vc)
+}
+
+// ChannelCreditPending reports whether a VC-free credit for vc is still
+// in channel i's credit pipe — claimed upstream, already released
+// downstream, in flight back. Also a legitimate claimed-but-empty state.
+func (n *Network) ChannelCreditPending(i int, vc int) bool {
+	for _, v := range n.channels[i].creditNext {
+		if v == vc {
+			return true
+		}
+	}
+	return false
+}
+
+// ForEachTransit visits the packet of every flit currently in a link
+// pipeline (both stages). Packets spanning several flits are visited
+// once per flit; conservation checks dedup by packet.
+func (n *Network) ForEachTransit(f func(*message.Packet)) {
+	for _, ch := range n.channels {
+		if ch.cur.valid {
+			f(ch.cur.flit.Pkt)
+		}
+		if ch.next.valid {
+			f(ch.next.flit.Pkt)
+		}
+	}
 }

@@ -69,6 +69,20 @@ type NIC struct {
 	// Consumer drains ejection queues; defaults to ImmediateConsumer.
 	Consumer Consumer
 
+	// Stall, when set and returning true for a cycle, freezes the
+	// consumer side of the NIC: ejection queues are not drained, though
+	// injection proceeds. Fault injection uses it to model a wedged
+	// processor without replacing Consumer (the protocol engine installs
+	// itself there and must keep observing packets once the stall lifts).
+	Stall func(cycle int64) bool
+
+	// Enqueued counts packets ever handed to this NIC through
+	// EnqueueSource — the injection side of the packet-conservation
+	// ledger (Enqueued == Consumed + in-flight, checked by the
+	// invariant watchdogs). Front re-queues are not new packets and do
+	// not count.
+	Enqueued int64
+
 	source [message.NumClasses]ringq.Ring[*message.Packet]
 	eject  [message.NumClasses]ringq.Ring[*message.Packet]
 	// reserved lists FastPass packet IDs with a claim on the next free
@@ -119,6 +133,7 @@ func (n *NIC) Idle() bool {
 // injection *buffers* in the router are the finite resource).
 func (n *NIC) EnqueueSource(pkt *message.Packet) {
 	n.source[pkt.Class].PushBack(pkt)
+	n.Enqueued++
 	n.wake()
 }
 
@@ -145,16 +160,18 @@ func (n *NIC) TotalSourceDepth() int {
 // Tick runs the per-cycle NIC work: drain ejection queues through the
 // consumer, then move source packets into the router injection queues.
 func (n *NIC) Tick(cycle int64) {
-	for c := range n.eject {
-		for n.eject[c].Len() > 0 {
-			head := n.eject[c].Front()
-			if !n.Consumer.TryConsume(cycle, head) {
-				break
-			}
-			n.eject[c].PopFront()
-			n.Consumed[c]++
-			if n.Recycle != nil {
-				n.Recycle(head)
+	if n.Stall == nil || !n.Stall(cycle) {
+		for c := range n.eject {
+			for n.eject[c].Len() > 0 {
+				head := n.eject[c].Front()
+				if !n.Consumer.TryConsume(cycle, head) {
+					break
+				}
+				n.eject[c].PopFront()
+				n.Consumed[c]++
+				if n.Recycle != nil {
+					n.Recycle(head)
+				}
 			}
 		}
 	}
@@ -287,6 +304,28 @@ func (n *NIC) finish(cycle int64, pkt *message.Packet) {
 	}
 }
 
+// ForEachResident visits every packet the NIC currently holds: queued
+// at the source, awaiting consumption in an ejection queue, or mid
+// reassembly. The conservation watchdog uses it to account for packets
+// that exist but are in neither a router nor a link pipeline.
+func (n *NIC) ForEachResident(f func(*message.Packet)) {
+	for c := range n.source {
+		for i := 0; i < n.source[c].Len(); i++ {
+			f(n.source[c].At(i))
+		}
+	}
+	for c := range n.eject {
+		for i := 0; i < n.eject[c].Len(); i++ {
+			f(n.eject[c].At(i))
+		}
+	}
+	for c := range n.assembling {
+		if n.assembling[c] != nil {
+			f(n.assembling[c])
+		}
+	}
+}
+
 // EjectDepth reports the occupancy of a class ejection queue.
 func (n *NIC) EjectDepth(c message.Class) int { return n.eject[c].Len() }
 
@@ -298,6 +337,10 @@ func (n *NIC) PeekEject(c message.Class) *message.Packet {
 	}
 	return n.eject[c].Front()
 }
+
+// EjectAt returns the packet at position i of a class ejection queue
+// (0 = head; watchdog starvation reports).
+func (n *NIC) EjectAt(c message.Class, i int) *message.Packet { return n.eject[c].At(i) }
 
 // FreeSlotsDebug exposes the raw free-slot count for diagnostics.
 func (n *NIC) FreeSlotsDebug(c message.Class) int { return n.freeSlots(c) }

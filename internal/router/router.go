@@ -44,6 +44,11 @@ type Env interface {
 	// gained a resident packet and must be stepped again. Routers call
 	// it on every insertion; the scheduler deduplicates.
 	WakeRouter(node int)
+	// InputStalled reports whether fault injection has frozen the given
+	// input port of the node's router this cycle: its buffered flits
+	// must not advance through the switch. Healthy environments return
+	// false unconditionally.
+	InputStalled(node int, port int) bool
 }
 
 // Config carries the per-scheme router parameters (Table II).
@@ -422,11 +427,18 @@ func (r *Router) tryAllocate(e *Entry) {
 // transmits winning flits.
 func (r *Router) switchAllocate() {
 	nPorts := r.Mesh.NumPorts()
-	// Stage 1: each input port nominates one VC with a sendable flit.
+	// Stage 1: each input port nominates one VC with a sendable flit. A
+	// fault-stalled input port nominates nothing: its buffered flits
+	// are frozen in place until the stall clears (or the watchdogs give
+	// up on them).
 	nominee := r.nominee
 	for p := 0; p < nPorts; p++ {
 		iu := r.Inputs[p]
 		reqs := r.saReqs[p]
+		if r.Env.InputStalled(r.ID, p) {
+			nominee[p] = -1
+			continue
+		}
 		for v := range iu.VCs {
 			reqs[v] = r.sendable(iu.VCs[v])
 		}
@@ -625,6 +637,20 @@ func (r *Router) BlockedFor(port topology.Direction, vc int) int64 {
 		return -1
 	}
 	return r.Env.Cycle() - e.LastMove
+}
+
+// ForEachCandidate visits every (output port, downstream VC) pair the
+// routing relation allows for a head packet buffered at this router —
+// the resources the packet could be waiting for. The deadlock watchdog
+// uses it to extract waits-for edges from a wedged network. Pairs are
+// visited in deterministic (VC algorithm, port) order; the call reuses
+// the router's VA scratch, so it must not run concurrently with Step.
+func (r *Router) ForEachCandidate(pkt *message.Packet, visit func(port topology.Direction, gvc int)) {
+	for _, p := range r.allowedPorts(pkt) {
+		for _, gvc := range r.candVCs[p] {
+			visit(p, gvc)
+		}
+	}
 }
 
 // ResidentPackets returns every packet buffered in this router,

@@ -19,6 +19,8 @@ type fakeEnv struct {
 	claimEject map[int]bool
 	ejectDeny  map[message.Class]bool
 	pendingEj  int
+	// stalledPorts marks fault-frozen input ports (InputStalled).
+	stalledPorts map[int]bool
 }
 
 type sentFlit struct {
@@ -52,6 +54,9 @@ func (f *fakeEnv) BeginEject(n int, p *message.Packet)    { f.pendingEj++ }
 func (f *fakeEnv) CancelEject(n int, p *message.Packet)   { f.pendingEj-- }
 func (f *fakeEnv) EjectFlit(n int, fl message.Flit)       { f.ejected = append(f.ejected, fl) }
 func (f *fakeEnv) WakeRouter(int)                         {}
+func (f *fakeEnv) InputStalled(n, port int) bool {
+	return f.stalledPorts != nil && f.stalledPorts[port]
+}
 
 func adaptiveCfg(vns, vcs int) Config {
 	algs := make([]routing.Algorithm, vcs)

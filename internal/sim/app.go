@@ -35,6 +35,13 @@ type AppResult struct {
 
 	// Fig. 13(b) extras.
 	RegularFrac, FastFrac, DroppedFrac float64
+
+	// Aborted is set when the invariant watchdog tripped fatally before
+	// the quota completed; the structured diagnostic rides along.
+	Aborted          bool
+	AbortCycle       int64
+	AbortReport      string
+	DeadlockDetected bool
 }
 
 // RunApp executes one application workload on one scheme.
@@ -58,9 +65,18 @@ func RunApp(cfg AppConfig) AppResult {
 		if eng.Completed >= quota {
 			break
 		}
+		if inst.Watch != nil && inst.Watch.Tripped() {
+			break
+		}
 	}
 	res.ExecTime = inst.Cycle()
 	res.Timeout = eng.Completed < quota
+	if inst.Watch != nil && inst.Watch.Tripped() {
+		res.Aborted = true
+		res.AbortCycle = inst.Cycle()
+		res.AbortReport = inst.Watch.Report()
+		res.DeadlockDetected = inst.Watch.Deadlocked()
+	}
 	res.AvgLatency = col.MeanLatency()
 	res.P99Latency = col.Percentile(0.99)
 	res.Samples = col.Samples()

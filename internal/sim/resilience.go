@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+)
+
+// The resilience experiment measures what the paper only argues: how
+// each scheme degrades when the hardware itself misbehaves. One fault
+// plan is swept across intensities and schemes; every point records
+// what was delivered, what was stranded, what arrived corrupted, and
+// whether the invariant watchdogs had to abort the run. FastPass's
+// claim to fame here is surviving every intensity without ever tripping
+// the deadlock watchdog — its lanes are dedicated wiring that link
+// faults on the regular network cannot touch.
+
+// ResilienceConfig describes a fault-intensity sweep.
+type ResilienceConfig struct {
+	// Base carries the mesh, traffic, windows, seed, watchdog spec and
+	// the fault plan (Base.Options.Faults). Its Scheme and FaultScale
+	// are overridden per point.
+	Base ResilienceBase
+
+	// Scales multiplies the plan's rates per point. Scale 0 is the
+	// fault-free control: the plan (including its targeted events) is
+	// dropped entirely.
+	Scales []float64
+
+	// Schemes under test. MinBD is not supported (its deflection
+	// network has no links, credits or NICs for the injector to break).
+	Schemes []Scheme
+
+	// Jobs is the parallel worker count (0 = all cores, 1 = serial).
+	// Results are bit-identical at any value.
+	Jobs int
+}
+
+// ResilienceBase aliases SynthConfig: the base point a resilience sweep
+// perturbs.
+type ResilienceBase = SynthConfig
+
+// ResiliencePoint is one (scheme, fault scale) measurement.
+type ResiliencePoint struct {
+	SynthResult
+	Scale float64
+}
+
+// RunResilience executes the sweep. Points are laid out scheme-major
+// (all scales of Schemes[0] first), matching the CSV the sweep command
+// writes.
+func RunResilience(cfg ResilienceConfig) []ResiliencePoint {
+	type job struct {
+		scheme Scheme
+		scale  float64
+	}
+	var jobsList []job
+	for _, s := range cfg.Schemes {
+		if s == MinBD {
+			panic(fmt.Sprintf("sim: resilience sweep does not support %v", s))
+		}
+		for _, sc := range cfg.Scales {
+			jobsList = append(jobsList, job{scheme: s, scale: sc})
+		}
+	}
+	return parallel.Map(cfg.Jobs, jobsList, func(j job) ResiliencePoint {
+		c := cfg.Base
+		c.Scheme = j.scheme
+		c.VCs = 0 // per-scheme Table II default
+		if j.scale == 0 {
+			c.Faults = ""
+			c.FaultScale = 0
+		} else {
+			c.FaultScale = j.scale
+		}
+		return ResiliencePoint{SynthResult: RunSynthetic(c), Scale: j.scale}
+	})
+}

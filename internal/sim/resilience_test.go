@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/traffic"
+)
+
+// resilienceBase is a small, fast configuration exercising every fault
+// category at once.
+func resilienceBase() SynthConfig {
+	return SynthConfig{
+		Options: Options{
+			W: 4, H: 4, Seed: 7,
+			Faults:   "linkfail:rate=0.002,dur=64;portstall:rate=0.002,dur=32;corrupt:rate=0.001;creditloss:rate=0.001;stallconsumer:rate=0.0005,dur=128",
+			Watchdog: "on",
+		},
+		Pattern: traffic.Uniform,
+		Rate:    0.05,
+		Warmup:  300, Measure: 800, Drain: 400,
+	}
+}
+
+// TestResilienceSmoke runs the full sweep shape on two schemes and
+// checks the accounting: points come back scheme-major, the fault-free
+// control injects nothing, and the full-intensity points actually
+// exercised the injector.
+func TestResilienceSmoke(t *testing.T) {
+	cfg := ResilienceConfig{
+		Base:    resilienceBase(),
+		Scales:  []float64{0, 1},
+		Schemes: []Scheme{FastPass, EscapeVC},
+		Jobs:    1,
+	}
+	pts := RunResilience(cfg)
+	if len(pts) != 4 {
+		t.Fatalf("got %d points, want 4", len(pts))
+	}
+	for i, want := range []struct {
+		scheme Scheme
+		scale  float64
+	}{{FastPass, 0}, {FastPass, 1}, {EscapeVC, 0}, {EscapeVC, 1}} {
+		if pts[i].Scheme != want.scheme || pts[i].Scale != want.scale {
+			t.Errorf("point %d = (%v, %g), want (%v, %g)", i, pts[i].Scheme, pts[i].Scale, want.scheme, want.scale)
+		}
+	}
+	for _, p := range pts {
+		if p.Scale == 0 {
+			if p.Faults != (faults.Counters{}) {
+				t.Errorf("%v scale 0 injected faults: %+v", p.Scheme, p.Faults)
+			}
+			if p.Aborted {
+				t.Errorf("%v fault-free control aborted:\n%s", p.Scheme, p.AbortReport)
+			}
+		} else {
+			if p.Faults.LinkFails == 0 && p.Faults.PortStalls == 0 && p.Faults.CreditsLost == 0 {
+				t.Errorf("%v scale 1 shows no injector activity: %+v", p.Scheme, p.Faults)
+			}
+		}
+		if p.Created == 0 || p.Created != p.Delivered+p.Stranded {
+			t.Errorf("%v scale %g: created %d != delivered %d + stranded %d",
+				p.Scheme, p.Scale, p.Created, p.Delivered, p.Stranded)
+		}
+	}
+}
+
+// TestResilienceDeterministicAcrossJobs is the acceptance criterion in
+// code: an identical fault sweep at -j 1 and -j 8 must produce
+// bit-identical results.
+func TestResilienceDeterministicAcrossJobs(t *testing.T) {
+	cfg := ResilienceConfig{
+		Base:    resilienceBase(),
+		Scales:  []float64{0, 0.5, 1},
+		Schemes: []Scheme{FastPass, EscapeVC, Pitstop},
+	}
+	cfg.Jobs = 1
+	serial := RunResilience(cfg)
+	cfg.Jobs = 8
+	par := RunResilience(cfg)
+	if len(serial) != len(par) {
+		t.Fatalf("point counts differ: %d vs %d", len(serial), len(par))
+	}
+	for i := range serial {
+		// Field-rendered comparison: DeepEqual would flag NaN latencies
+		// on saturated points as unequal even when bit-identical.
+		s, p := fmt.Sprintf("%+v", serial[i]), fmt.Sprintf("%+v", par[i])
+		if s != p {
+			t.Errorf("point %d differs between -j 1 and -j 8:\n  -j1 %s\n  -j8 %s", i, s, p)
+		}
+	}
+}
+
+// TestFastPassNeverTripsUnderFaults drives FastPass through the full
+// resilience intensity with the watchdog at its most suspicious
+// settings that still cannot false-positive on healthy slowness, and
+// requires a clean finish: no abort, no deadlock.
+func TestFastPassNeverTripsUnderFaults(t *testing.T) {
+	base := resilienceBase()
+	base.Scheme = FastPass
+	base.FaultScale = 1
+	res := RunSynthetic(base)
+	if res.Aborted {
+		t.Fatalf("FastPass aborted under faults at cycle %d:\n%s", res.AbortCycle, res.AbortReport)
+	}
+	if res.DeadlockDetected {
+		t.Fatal("FastPass reported a deadlock under faults")
+	}
+	if res.Delivered == 0 {
+		t.Fatal("FastPass delivered nothing under faults")
+	}
+}
+
+// TestCorruptionIsDetected cranks only the corruption rate and checks
+// the checksum pipeline: corrupted deliveries are flagged, and every
+// injector corruption that reached a destination was detected.
+func TestCorruptionIsDetected(t *testing.T) {
+	base := resilienceBase()
+	base.Scheme = EscapeVC
+	base.Faults = "corrupt:rate=0.02"
+	base.FaultScale = 1
+	res := RunSynthetic(base)
+	if res.Faults.FlitsCorrupted == 0 {
+		t.Fatal("corruption rate 0.02 corrupted nothing")
+	}
+	if res.CorruptedDelivered == 0 {
+		t.Fatal("no corrupted packet was flagged at delivery")
+	}
+	if res.Faults.CorruptionsDetected == 0 {
+		t.Fatal("checksum check never fired")
+	}
+}

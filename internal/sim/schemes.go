@@ -15,6 +15,8 @@ import (
 	"repro/internal/baselines/swap"
 	"repro/internal/baselines/tfc"
 	"repro/internal/fastpass"
+	"repro/internal/faults"
+	"repro/internal/invariant"
 	"repro/internal/message"
 	"repro/internal/minbd"
 	"repro/internal/network"
@@ -130,6 +132,20 @@ type Options struct {
 	// TraceCapacity, when positive, attaches an event recorder keeping
 	// that many recent events (Instance.Trace).
 	TraceCapacity int
+
+	// Faults, when non-empty, is a faults.ParsePlan spec; Build attaches
+	// a deterministic injector seeded from the plan and Options.Seed.
+	// Ignored for MinBD (separate packet model). Invalid specs panic —
+	// commands pre-validate with faults.ParsePlan.
+	Faults string
+	// FaultScale, when positive, multiplies every rate in the fault
+	// plan (resilience sweeps reuse one spec across intensities).
+	FaultScale float64
+
+	// Watchdog, when non-empty, is an invariant.ParseSpec value ("on",
+	// "off", or tuning clauses); the zero value keeps watchdogs off so
+	// existing callers are unaffected. Ignored for MinBD.
+	Watchdog string
 }
 
 func (o *Options) setDefaults() {
@@ -158,8 +174,18 @@ type Instance struct {
 	// FP is non-nil for FastPass (drop/promotion counters).
 	FP *fastpass.Controller
 
+	// Pit is non-nil for Pitstop (the watchdog counts pitted packets).
+	Pit *pitstop.Controller
+
 	// Trace is non-nil when Options.TraceCapacity > 0.
 	Trace *trace.Recorder
+
+	// Faults is non-nil when Options.Faults was set (fault counters).
+	Faults *faults.Injector
+
+	// Watch is non-nil when Options.Watchdog enabled the invariant
+	// watchdogs; run loops poll Watch.Tripped and abort.
+	Watch *invariant.Watchdog
 }
 
 // Build constructs a scheme instance.
@@ -202,7 +228,7 @@ func Build(o Options) *Instance {
 	case DRAIN:
 		inst.Net, _ = drain.New(mesh, o.VCs, o.EjectCap, o.Seed, drain.Params{Period: o.DrainPeriod})
 	case Pitstop:
-		inst.Net, _ = pitstop.New(mesh, o.VCs, o.EjectCap, o.Seed, pitstop.Params{})
+		inst.Net, inst.Pit = pitstop.New(mesh, o.VCs, o.EjectCap, o.Seed, pitstop.Params{})
 	case TFC:
 		inst.Net, _ = tfc.New(mesh, o.VCs, o.EjectCap, o.Seed, tfc.Params{})
 	case MinBD:
@@ -210,7 +236,47 @@ func Build(o Options) *Instance {
 	default:
 		panic("sim: unknown scheme")
 	}
+	inst.attachRobustness(o)
 	return inst
+}
+
+// attachRobustness wires the fault injector and invariant watchdogs
+// requested by Options into a freshly built network. MinBD is excluded:
+// its deflection network has no credits, VCs or NICs to degrade or
+// audit.
+func (inst *Instance) attachRobustness(o Options) {
+	n := inst.Net
+	if n == nil {
+		return
+	}
+	if o.Faults != "" {
+		plan := faults.MustParsePlan(o.Faults)
+		if o.FaultScale > 0 {
+			plan = plan.Scale(o.FaultScale)
+		}
+		inj := faults.NewInjector(plan, len(inst.Mesh.Links()), inst.Mesh.NumNodes(), inst.Mesh.NumPorts(), o.Seed)
+		n.AttachFaults(inj)
+		for id, nc := range n.NICs {
+			node := id
+			nc.Stall = func(int64) bool { return inj.ConsumerStalled(node) }
+		}
+		inst.Faults = inj
+	}
+	if o.Watchdog != "" {
+		wopts, on, err := invariant.ParseSpec(o.Watchdog)
+		if err != nil {
+			panic(fmt.Sprintf("sim: invalid watchdog spec: %v", err))
+		}
+		if on {
+			inst.Watch = invariant.Attach(n, wopts)
+			if inst.FP != nil {
+				inst.Watch.Observe(inst.FP)
+			}
+			if inst.Pit != nil {
+				inst.Watch.Observe(inst.Pit)
+			}
+		}
+	}
 }
 
 // UsePool attaches a per-simulation packet arena: every delivered packet
@@ -226,8 +292,9 @@ func (i *Instance) UsePool() *message.Pool {
 		return nil
 	}
 	pl := message.NewPool()
-	for _, nc := range i.Net.NICs {
-		nc.Recycle = pl.Put
+	for id, nc := range i.Net.NICs {
+		node := id
+		nc.Recycle = func(p *message.Packet) { pl.PutCtx(p, node, i.Net.Cycle()) }
 	}
 	return pl
 }

@@ -4,6 +4,8 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/faults"
+	"repro/internal/message"
 	"repro/internal/parallel"
 	"repro/internal/stats"
 	"repro/internal/traffic"
@@ -67,6 +69,27 @@ type SynthResult struct {
 	Promoted, Drops                    int64
 
 	Saturated bool
+
+	// Robustness accounting (fault/watchdog runs; zero otherwise).
+	// Created/Delivered count over the whole run (all windows);
+	// Stranded is their difference at the end — packets wedged in the
+	// network, typically by permanent faults. CorruptedDelivered counts
+	// packets that arrived flagged by the checksum check.
+	Created            int64
+	Delivered          int64
+	Stranded           int64
+	CorruptedDelivered int64
+
+	// Aborted is set when the invariant watchdog tripped fatally;
+	// AbortCycle/AbortReport carry the structured diagnostic.
+	Aborted          bool
+	AbortCycle       int64
+	AbortReport      string
+	DeadlockDetected bool
+	CreditLeaks      int
+
+	// Faults snapshots the injector's counters (zero when no plan).
+	Faults faults.Counters
 }
 
 // RunSynthetic executes one synthetic point.
@@ -74,7 +97,14 @@ func RunSynthetic(cfg SynthConfig) SynthResult {
 	cfg.setDefaults()
 	inst := Build(cfg.Options)
 	col := stats.New(cfg.W*cfg.H, int64(cfg.Warmup), int64(cfg.Warmup+cfg.Measure))
-	inst.SetOnEject(col.OnEject)
+	var delivered, corrupted int64
+	inst.SetOnEject(func(pkt *message.Packet) {
+		delivered++
+		if pkt.Corrupted {
+			corrupted++
+		}
+		col.OnEject(pkt)
+	})
 	gen := &traffic.Generator{
 		Pattern: cfg.Pattern, Rate: cfg.Rate, W: cfg.W, H: cfg.H,
 		HotspotNode: cfg.HotspotNode, HotspotFraction: cfg.HotspotFraction,
@@ -82,12 +112,16 @@ func RunSynthetic(cfg SynthConfig) SynthResult {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed + 0x5eed))
 	total := cfg.Warmup + cfg.Measure + cfg.Drain
-	for c := 0; c < total; c++ {
+	var created int64
+	aborted := false
+	for c := 0; c < total && !aborted; c++ {
 		for _, pkt := range gen.Tick(inst.Cycle(), rng) {
+			created++
 			col.OnCreate(pkt)
 			inst.Enqueue(pkt)
 		}
 		inst.Step()
+		aborted = inst.Watch != nil && inst.Watch.Tripped()
 	}
 	res := SynthResult{
 		Scheme:         cfg.Scheme,
@@ -109,9 +143,27 @@ func RunSynthetic(cfg SynthConfig) SynthResult {
 		res.Promoted = inst.FP.Counters.Promoted
 		res.Drops = inst.FP.Counters.Drops
 	}
+	res.Created = created
+	res.Delivered = delivered
+	res.Stranded = created - delivered
+	res.CorruptedDelivered = corrupted
+	if inst.Faults != nil {
+		res.Faults = inst.Faults.Counters
+	}
+	if inst.Watch != nil {
+		res.CreditLeaks = inst.Watch.Leaks()
+		if inst.Watch.Tripped() {
+			res.Aborted = true
+			res.AbortCycle = inst.Cycle()
+			res.AbortReport = inst.Watch.Report()
+			res.DeadlockDetected = inst.Watch.Deadlocked()
+		}
+	}
 	// Saturation: runaway latency, or measured packets that never made
-	// it out even after the drain window.
-	res.Saturated = !(res.AvgLatency == res.AvgLatency) || // NaN: nothing delivered
+	// it out even after the drain window. An aborted run is by
+	// definition not a sustainable operating point.
+	res.Saturated = res.Aborted ||
+		!(res.AvgLatency == res.AvgLatency) || // NaN: nothing delivered
 		res.AvgLatency > cfg.SatLatency ||
 		res.DeliveredFrac < 0.9
 	return res

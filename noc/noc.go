@@ -18,6 +18,8 @@
 package noc
 
 import (
+	"repro/internal/faults"
+	"repro/internal/invariant"
 	"repro/internal/powerarea"
 	"repro/internal/sim"
 	"repro/internal/traffic"
@@ -99,6 +101,43 @@ func SaturationThroughput(base SynthConfig, lo, hi float64, iters int) (rate, th
 func SaturationThroughputJobs(base SynthConfig, lo, hi float64, iters, jobs int) (rate, throughput float64) {
 	return sim.SaturationThroughputJobs(base, lo, hi, iters, jobs)
 }
+
+// FaultPlan describes deterministic hardware-fault injection; FaultCounters
+// reports what an injector actually did. See the faults package for the
+// compact spec grammar ("linkfail:rate=1e-4,dur=64;corrupt:rate=1e-5;...").
+type (
+	FaultPlan     = faults.Plan
+	FaultCounters = faults.Counters
+)
+
+// ParseFaultPlan validates and parses a fault-plan spec (the -faults
+// flag value).
+func ParseFaultPlan(spec string) (FaultPlan, error) { return faults.ParsePlan(spec) }
+
+// WatchdogOptions tunes the runtime invariant watchdogs; Violation is
+// one tripped invariant. See the invariant package.
+type (
+	WatchdogOptions = invariant.Options
+	Violation       = invariant.Violation
+)
+
+// ParseWatchdogSpec validates and parses a -watchdog flag value ("on",
+// "off", or "stride=..,deadlock=..,starve=..,leak=.." clauses),
+// reporting whether watchdogs are enabled.
+func ParseWatchdogSpec(spec string) (WatchdogOptions, bool, error) {
+	return invariant.ParseSpec(spec)
+}
+
+// ResilienceConfig sweeps a fault plan's intensity across schemes;
+// ResiliencePoint is one (scheme, scale) measurement.
+type (
+	ResilienceConfig = sim.ResilienceConfig
+	ResiliencePoint  = sim.ResiliencePoint
+)
+
+// RunResilience executes a fault-intensity sweep. Deterministic: the
+// same config yields bit-identical points at any Jobs value.
+func RunResilience(cfg ResilienceConfig) []ResiliencePoint { return sim.RunResilience(cfg) }
 
 // App is a named application workload profile.
 type App = workload.App
