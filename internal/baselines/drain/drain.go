@@ -63,6 +63,12 @@ type Controller struct {
 	prm   Params
 	order []int // serpentine node order
 
+	// victims and occupied are rotate's scratch, sized at Attach and
+	// reused every rotation step so drain windows stay off the
+	// allocator (the alloc-guard contract covers drain cycles too).
+	victims  []victim
+	occupied []int
+
 	// Trace, when non-nil, records drain windows.
 	Trace *trace.Recorder
 
@@ -79,6 +85,7 @@ func Attach(n *network.Network, prm Params) *Controller {
 	prm.setDefaults(n.Mesh.NumNodes())
 	c := &Controller{prm: prm}
 	c.order = serpentine(n.Mesh)
+	c.victims = make([]victim, len(c.order))
 	n.Controller = c
 	return c
 }
@@ -131,7 +138,7 @@ func (c *Controller) PreCycle(n *network.Network) {
 }
 
 // victim identifies one rotatable packet per node: a fully-buffered head
-// of any network VC.
+// of any network VC. A nil pkt marks an empty slot.
 type victim struct {
 	port topology.Direction
 	vc   int
@@ -141,16 +148,16 @@ type victim struct {
 // rotate performs one lock-step rotation along the serpentine: every
 // selected packet moves into the slot freed at the next node.
 func (c *Controller) rotate(n *network.Network) {
-	nodes := len(c.order)
-	victims := make([]*victim, nodes) // indexed by serpentine position
+	victims := c.victims // indexed by serpentine position
 	for i, node := range c.order {
+		victims[i] = victim{}
 		r := n.Routers[node]
 		for p := 1; p < n.Mesh.NumPorts(); p++ {
 			found := false
 			for v := 0; v < r.Cfg.NetVCs(); v++ {
 				e := r.VCFor(topology.Direction(p), v).Head()
 				if e != nil && e.FullyBuffered() {
-					victims[i] = &victim{port: topology.Direction(p), vc: v, pkt: e.Pkt}
+					victims[i] = victim{port: topology.Direction(p), vc: v, pkt: e.Pkt}
 					found = true
 					break
 				}
@@ -167,9 +174,9 @@ func (c *Controller) rotate(n *network.Network) {
 	// victims a packet advances to the next participating node (the
 	// real holistic path would walk it there over several drain steps —
 	// the compression only shortens drain-mode travel time).
-	var occupied []int // serpentine positions with victims
+	occupied := c.occupied[:0] // serpentine positions with victims
 	for i, vic := range victims {
-		if vic == nil {
+		if vic.pkt == nil {
 			continue
 		}
 		occupied = append(occupied, i)
@@ -178,6 +185,7 @@ func (c *Controller) rotate(n *network.Network) {
 			panic("drain: victim vanished between selection and removal")
 		}
 	}
+	c.occupied = occupied
 	if len(occupied) < 2 {
 		// A single victim just goes back where it was: rotation needs
 		// at least two participants.
@@ -190,7 +198,7 @@ func (c *Controller) rotate(n *network.Network) {
 		}
 		return
 	}
-	nodes = len(occupied)
+	nodes := len(occupied)
 	for j, i := range occupied {
 		vic := victims[i]
 		src := victims[occupied[(j+nodes-1)%nodes]]

@@ -109,8 +109,9 @@ func (c *Controller) PostCycle(*network.Network) {}
 // PreCycle implements network.Controller.
 func (c *Controller) PreCycle(n *network.Network) {
 	cycle := n.Cycle()
-	// Execute due spins.
-	var keep []pendingSpin
+	// Execute due spins. Filtering in place reuses c.pending's backing
+	// array, so the scan allocates nothing.
+	keep := c.pending[:0]
 	for _, ps := range c.pending {
 		if ps.at > cycle {
 			keep = append(keep, ps)
@@ -174,6 +175,7 @@ func (c *Controller) probe(n *network.Network, origin slot, cycle int64) {
 			if idx == 0 {
 				c.Detections++
 				c.Trace.Record(cycle, trace.RecoveryAction, 0, origin.node,
+					//nocvet:ignore hotalloc2 fires once per confirmed deadlock loop, never in steady state
 					fmt.Sprintf("spin detection, loop length %d", len(chain)))
 				c.pending = append(c.pending, pendingSpin{
 					chain: chain,
@@ -229,7 +231,8 @@ func (c *Controller) dependency(n *network.Network, cur slot) (slot, bool) {
 		return slot{}, false
 	}
 	vn := r.Cfg.ClassVN(pkt.Class)
-	var candidate *slot
+	var candidate slot
+	found := false
 	for _, d := range dirs {
 		l := n.Mesh.OutLink(r.ID, d)
 		if l == nil {
@@ -248,15 +251,13 @@ func (c *Controller) dependency(n *network.Network, cur slot) (slot, bool) {
 				// Streaming or in-flight: progress exists somewhere.
 				return slot{}, false
 			}
-			if candidate == nil {
-				candidate = &slot{node: down.ID, port: l.DstPort, vc: gvc, pkt: de.Pkt.ID}
+			if !found {
+				candidate = slot{node: down.ID, port: l.DstPort, vc: gvc, pkt: de.Pkt.ID}
+				found = true
 			}
 		}
 	}
-	if candidate == nil {
-		return slot{}, false
-	}
-	return *candidate, true
+	return candidate, found
 }
 
 // executeSpin validates the chain and rotates every packet one hop
@@ -271,7 +272,7 @@ func (c *Controller) executeSpin(n *network.Network, ps pendingSpin) {
 			return
 		}
 	}
-	pkts := make([]*message.Packet, len(chain))
+	pkts := make([]*message.Packet, len(chain)) //nocvet:ignore hotalloc2 spin execution is a rare recovery event, not per-cycle work
 	for i, s := range chain {
 		pkts[i] = n.Routers[s.node].RemoveHeadPacketNoCredit(s.port, s.vc)
 		if pkts[i] == nil {
@@ -287,5 +288,6 @@ func (c *Controller) executeSpin(n *network.Network, ps pendingSpin) {
 	}
 	c.Spins++
 	c.Trace.Record(n.Cycle(), trace.RecoveryAction, 0, chain[0].node,
+		//nocvet:ignore hotalloc2 fires once per executed spin, never in steady state
 		fmt.Sprintf("spin executed, %d packets rotated", len(chain)))
 }

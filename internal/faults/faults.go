@@ -297,8 +297,15 @@ func (p *Plan) parseClause(clause string) error {
 	default:
 		return fmt.Errorf("unknown fault kind %q", kind)
 	}
-	for k := range kv {
-		return fmt.Errorf("clause %q: unknown parameter %q", kind, k)
+	if len(kv) > 0 {
+		// Report the alphabetically first leftover so the error text does
+		// not depend on map iteration order.
+		var leftover []string
+		for k := range kv {
+			leftover = append(leftover, k)
+		}
+		sort.Strings(leftover)
+		return fmt.Errorf("clause %q: unknown parameter %q", kind, leftover[0])
 	}
 	return nil
 }

@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// findFunc resolves a program function by full-name suffix, failing on
+// ambiguity so tests stay precise.
+func findFunc(t *testing.T, prog *Program, suffix string) *FuncNode {
+	t.Helper()
+	var match *FuncNode
+	for _, n := range prog.Funcs {
+		if strings.HasSuffix(n.FullName(), suffix) {
+			if match != nil {
+				t.Fatalf("suffix %q is ambiguous: %s and %s", suffix, match.FullName(), n.FullName())
+			}
+			match = n
+		}
+	}
+	if match == nil {
+		t.Fatalf("no function with suffix %q in program", suffix)
+	}
+	return match
+}
+
+func hasCallee(n *FuncNode, callee *FuncNode) bool {
+	for _, c := range n.Callees {
+		if c == callee {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCallGraphEdges checks direct resolution and interface fan-out: a
+// call through an interface method must produce edges to every module
+// implementation.
+func TestCallGraphEdges(t *testing.T) {
+	prog := BuildProgram(fixture(t, "callgraph"))
+	route := findFunc(t, prog, "callgraph.route")
+	drive := findFunc(t, prog, "callgraph.drive")
+	alphaTick := findFunc(t, prog, "callgraph.alpha).tick")
+	betaTick := findFunc(t, prog, "callgraph.beta).tick")
+	helperA := findFunc(t, prog, "callgraph.helperA")
+
+	if !hasCallee(route, drive) {
+		t.Errorf("route -> drive edge missing; callees: %v", names(route.Callees))
+	}
+	if !hasCallee(drive, alphaTick) || !hasCallee(drive, betaTick) {
+		t.Errorf("interface fan-out missing from drive; callees: %v", names(drive.Callees))
+	}
+	if !hasCallee(alphaTick, helperA) {
+		t.Errorf("alpha.tick -> helperA edge missing; callees: %v", names(alphaTick.Callees))
+	}
+}
+
+func names(nodes []*FuncNode) []string {
+	var out []string
+	for _, n := range nodes {
+		out = append(out, n.FullName())
+	}
+	return out
+}
+
+// TestCallGraphRoots checks directive parsing: phase annotations become
+// phase roots, //nocvet:hot becomes a hot root, and phase roots are hot
+// roots too.
+func TestCallGraphRoots(t *testing.T) {
+	prog := BuildProgram(fixture(t, "callgraph"))
+	if got := findFunc(t, prog, "callgraph.route").Phase; got != "route" {
+		t.Errorf("route phase = %q, want route", got)
+	}
+	if got := findFunc(t, prog, "callgraph.commit").Phase; got != "commit" {
+		t.Errorf("commit phase = %q, want commit", got)
+	}
+	if !findFunc(t, prog, "callgraph.hot").Hot {
+		t.Error("hot not marked as hot root")
+	}
+	roots := map[*FuncNode]bool{}
+	for _, r := range prog.HotRoots() {
+		roots[r] = true
+	}
+	for _, suffix := range []string{"callgraph.hot", "callgraph.route", "callgraph.commit"} {
+		if !roots[findFunc(t, prog, suffix)] {
+			t.Errorf("HotRoots missing %s", suffix)
+		}
+	}
+}
+
+// TestCallGraphReachableStops checks phase-closure semantics: the walk
+// crosses unannotated functions (and interface fan-out) but stops at a
+// function rooted in a different phase.
+func TestCallGraphReachableStops(t *testing.T) {
+	prog := BuildProgram(fixture(t, "callgraph"))
+	route := findFunc(t, prog, "callgraph.route")
+	closure := prog.Reachable([]*FuncNode{route}, func(n *FuncNode) bool {
+		return n.Phase != "" && n.Phase != "route"
+	})
+	for _, suffix := range []string{"callgraph.drive", "callgraph.helperA", "callgraph.helperB"} {
+		if !closure[findFunc(t, prog, suffix)] {
+			t.Errorf("route closure missing %s", suffix)
+		}
+	}
+	if closure[findFunc(t, prog, "callgraph.commit")] {
+		t.Error("route closure crossed into the commit phase root")
+	}
+}
+
+// TestPhaseReportByteStable is the regression bar for -phasereport: two
+// independent loads of the same tree must render byte-identical JSON.
+func TestPhaseReportByteStable(t *testing.T) {
+	render := func() []byte {
+		rep := BuildPhaseReport(BuildProgram(fixture(t, "phasesafe")))
+		data, err := rep.Render()
+		if err != nil {
+			t.Fatalf("Render: %v", err)
+		}
+		return data
+	}
+	first, second := render(), render()
+	if !bytes.Equal(first, second) {
+		t.Errorf("phase report is not byte-stable:\n--- first ---\n%s--- second ---\n%s", first, second)
+	}
+	var parsed PhaseReport
+	if err := json.Unmarshal(first, &parsed); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if len(parsed.Phases) == 0 || parsed.Phases[0].Name != "commit" && parsed.Phases[0].Name != "route" {
+		t.Errorf("report has no phases: %s", first)
+	}
+}
+
+// TestPhaseReportContent spot-checks the contract derived from the
+// phasesafe fixture: closures, access sets, and shared-field ownership.
+func TestPhaseReportContent(t *testing.T) {
+	rep := BuildPhaseReport(BuildProgram(fixture(t, "phasesafe")))
+	byName := map[string]PhaseEntry{}
+	for _, ph := range rep.Phases {
+		byName[ph.Name] = ph
+	}
+	route, ok := byName["route"]
+	if !ok {
+		t.Fatal("report missing route phase")
+	}
+	if !containsSuffix(route.Funcs, "engine).bump") {
+		t.Errorf("route closure missing bump: %v", route.Funcs)
+	}
+	if !containsSuffix(route.Writes, "engine.claims") {
+		t.Errorf("route writes missing claims: %v", route.Writes)
+	}
+	var claims *SharedFieldEntry
+	for i := range rep.Shared {
+		if strings.HasSuffix(rep.Shared[i].Field, "engine.claims") {
+			claims = &rep.Shared[i]
+		}
+	}
+	if claims == nil {
+		t.Fatalf("shared summary missing engine.claims: %+v", rep.Shared)
+	}
+	if len(claims.WrittenBy) != 2 {
+		t.Errorf("engine.claims written by %v, want route and commit", claims.WrittenBy)
+	}
+}
+
+func containsSuffix(list []string, suffix string) bool {
+	for _, s := range list {
+		if strings.HasSuffix(s, suffix) {
+			return true
+		}
+	}
+	return false
+}

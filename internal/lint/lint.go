@@ -23,6 +23,23 @@
 //	             watchdog bounds are simulated cycles, so a wedged run
 //	             trips at the same cycle on every machine
 //
+// Three whole-program analyzers run over a type-resolved cross-package
+// call graph (callgraph.go) instead of one package at a time:
+//
+//	phasesafe  — from //nocvet:phase annotations on the cycle-engine
+//	             phase roots, computes transitive per-phase read/write
+//	             sets of //nocvet:shared struct fields and flags
+//	             same-phase write-then-read hazards and unbuffered
+//	             fields written by two phases; -phasereport emits the
+//	             derived shard-safety contract as stable JSON
+//	dettaint   — interprocedural determinism taint: values derived
+//	             from map iteration order, select, wall clock, or
+//	             pointer identity must be laundered (sorted) before
+//	             they reach fields of simulator state
+//	hotalloc2  — the hotalloc idiom checks applied to everything
+//	             reachable from //nocvet:hot roots, phase roots, and
+//	             controller PreCycle/PostCycle — across packages
+//
 // Findings can be silenced with a `//nocvet:ignore <rule> <reason>`
 // comment on the offending line or the line directly above it. The
 // reason is mandatory by convention: a suppression is a claim that the
@@ -59,9 +76,30 @@ type Analyzer interface {
 	Run(p *Package) []Finding
 }
 
+// ProgramAnalyzer is an analyzer that needs the whole program — every
+// package of the run plus the cross-package call graph — rather than
+// one package at a time. Its Run method is a no-op; RunProgram is
+// invoked once per nocvet invocation.
+type ProgramAnalyzer interface {
+	Analyzer
+	RunProgram(prog *Program) []Finding
+}
+
 // All returns the full analyzer suite in report order.
 func All() []Analyzer {
-	return []Analyzer{DetRand{}, MapOrder{}, CycleWidth{}, PanicStyle{}, HotAlloc{}, Wallclock{}}
+	return []Analyzer{
+		DetRand{}, MapOrder{}, CycleWidth{}, PanicStyle{}, HotAlloc{}, Wallclock{},
+		PhaseSafe{}, DetTaint{}, HotAlloc2{},
+	}
+}
+
+// Names lists every analyzer identifier in report order.
+func Names() []string {
+	var names []string
+	for _, a := range All() {
+		names = append(names, a.Name())
+	}
+	return names
 }
 
 // ByName resolves a comma-separated rule list ("detrand,panicstyle").
@@ -77,7 +115,7 @@ func ByName(list string) ([]Analyzer, error) {
 	for _, name := range strings.Split(list, ",") {
 		a, ok := known[strings.TrimSpace(name)]
 		if !ok {
-			return nil, fmt.Errorf("lint: unknown analyzer %q", name)
+			return nil, fmt.Errorf("lint: unknown analyzer %q (known: %s)", name, strings.Join(Names(), ", "))
 		}
 		out = append(out, a)
 	}
@@ -86,17 +124,34 @@ func ByName(list string) ([]Analyzer, error) {
 
 // Run applies the analyzers to every package, drops suppressed
 // findings, and returns the rest sorted by position then rule.
+// Program analyzers see all packages of the call at once, so a run
+// over ./... is a whole-program analysis.
 func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
+	var prog *Program
+	for _, a := range analyzers {
+		if _, ok := a.(ProgramAnalyzer); ok && len(pkgs) > 0 {
+			prog = BuildProgram(pkgs)
+			break
+		}
+	}
+	sup := collectSuppressions(pkgs)
 	var out []Finding
-	for _, p := range pkgs {
-		sup := collectSuppressions(p)
-		for _, a := range analyzers {
-			for _, f := range a.Run(p) {
-				if sup.covers(f) {
-					continue
-				}
+	keep := func(fs []Finding) {
+		for _, f := range fs {
+			if !sup.covers(f) {
 				out = append(out, f)
 			}
+		}
+	}
+	for _, a := range analyzers {
+		if pa, ok := a.(ProgramAnalyzer); ok {
+			if prog != nil {
+				keep(pa.RunProgram(prog))
+			}
+			continue
+		}
+		for _, p := range pkgs {
+			keep(a.Run(p))
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -134,8 +189,15 @@ func (s suppressions) covers(f Finding) bool {
 //
 //	//nocvet:ignore detrand jitter is cosmetic, not simulated state
 //	d := time.Now()
-func collectSuppressions(p *Package) suppressions {
+func collectSuppressions(pkgs []*Package) suppressions {
 	sup := suppressions{}
+	for _, p := range pkgs {
+		sup.collect(p)
+	}
+	return sup
+}
+
+func (sup suppressions) collect(p *Package) {
 	for _, file := range p.Files {
 		for _, cg := range file.Comments {
 			for _, c := range cg.List {
@@ -166,7 +228,6 @@ func collectSuppressions(p *Package) suppressions {
 			}
 		}
 	}
-	return sup
 }
 
 // finding builds a Finding at a node's position.

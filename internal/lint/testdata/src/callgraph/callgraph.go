@@ -1,0 +1,31 @@
+// Package callgraph is the fixture for the whole-program graph builder:
+// direct edges, interface fan-out, phase roots, hot roots, and
+// phase-boundary stops.
+package callgraph
+
+type ticker interface{ tick() }
+
+type alpha struct{}
+
+func (alpha) tick() { helperA() }
+
+type beta struct{}
+
+func (*beta) tick() { helperB() }
+
+func helperA() {}
+
+func helperB() {}
+
+// drive calls through the interface: the edge fans out to both
+// implementations.
+func drive(t ticker) { t.tick() }
+
+//nocvet:phase route
+func route() { drive(alpha{}) }
+
+//nocvet:phase commit
+func commit() { helperB() }
+
+//nocvet:hot
+func hot() { route() }

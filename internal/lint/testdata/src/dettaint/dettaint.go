@@ -1,0 +1,69 @@
+// Package dettaint exercises the interprocedural determinism-taint
+// analyzer: local and cross-package map-order taint reaching simulator
+// state, sort laundering, commutative accumulation, wall-clock taint,
+// hot-path source calls, and the suppression path.
+package dettaint
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/lint/testdata/src/dettaint/inner"
+)
+
+// sim stands in for simulator state (a module struct in internal/).
+type sim struct {
+	order []int
+	names []string
+	total int
+	stamp int64
+}
+
+// collect returns IDs in map iteration order — its summary is tainted.
+func collect(m map[int]bool) []int {
+	var out []int
+	for id := range m {
+		out = append(out, id)
+	}
+	return out
+}
+
+// fill writes taint into state: once through the local helper, once
+// through the cross-package one.
+func (s *sim) fill(m map[int]bool, src map[string]int) {
+	s.order = collect(m)
+	s.names = inner.Names(src)
+}
+
+// sum is clean: commutative numeric accumulation is order-independent.
+func (s *sim) sum(m map[int]int) {
+	for _, v := range m {
+		s.total += v
+	}
+}
+
+// sorted is clean: the sort after the write launders the order taint.
+func (s *sim) sorted(m map[int]bool) {
+	s.order = collect(m)
+	sort.Ints(s.order)
+}
+
+// clock writes wall-clock taint into state.
+func (s *sim) clock() {
+	s.stamp = time.Now().UnixNano()
+}
+
+// logged carries the fixture's one suppressed case.
+func (s *sim) logged(m map[int]bool) {
+	//nocvet:ignore dettaint diagnostic ordering only, never fed back into the simulation
+	s.order = collect(m)
+}
+
+// scan is hot: calling a taint-returning helper from it is flagged even
+// without a field write.
+//
+//nocvet:hot
+func scan(m map[int]bool) int {
+	ids := collect(m)
+	return len(ids)
+}

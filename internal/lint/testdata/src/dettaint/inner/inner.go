@@ -1,0 +1,13 @@
+// Package inner is the cross-package taint source for the dettaint
+// fixture: the taint must survive the package boundary through the
+// call-graph summary.
+package inner
+
+// Names returns the keys in map iteration order.
+func Names(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

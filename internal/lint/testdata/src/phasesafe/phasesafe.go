@@ -1,0 +1,55 @@
+// Package phasesafe exercises the shard-safety analyzer: phase
+// annotations, shared/buffered struct marks, same-phase write-read
+// hazards, cross-phase write-write hazards, and the suppression path.
+package phasesafe
+
+// engine models shard-global cycle-engine state.
+//
+//nocvet:shared
+type engine struct {
+	// scoreboard is written and read inside the route phase: hazard.
+	scoreboard []int
+	// claims is written by both route and commit: hazard.
+	claims []bool
+	// cur/next is the sanctioned double-buffer idiom: exempt.
+	cur, next int //nocvet:buffered
+	// steps is a commutative counter bumped (read+write) inside route;
+	// the suppression below is the fixture's one suppressed case.
+	//nocvet:ignore phasesafe commutative counter; shards accumulate locally and sum at the barrier
+	steps int64
+}
+
+// local is unmarked: its fields are shard-local and never flagged even
+// though they are hammered from every phase.
+type local struct {
+	scratch int
+}
+
+//nocvet:phase route
+func (e *engine) route(l *local) {
+	e.scoreboard[0] = 1
+	_ = e.scoreboard[1]
+	e.claims[0] = true
+	e.next = e.cur + 1
+	l.scratch++
+	e.bump()
+}
+
+//nocvet:phase commit
+func (e *engine) commit(l *local) {
+	e.claims[1] = false
+	e.cur = e.next
+	l.scratch = 0
+}
+
+// bump is unannotated, so it joins the closure of every phase that
+// reaches it (here: route).
+func (e *engine) bump() {
+	e.steps++
+}
+
+// warp is not a cycle-engine phase: annotation findings point at the
+// declaration.
+//
+//nocvet:phase warp
+func (e *engine) warp() {}

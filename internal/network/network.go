@@ -58,16 +58,19 @@ type transit struct {
 }
 
 // channel is one directed link: a one-stage flit pipeline downstream and
-// a credit pipeline upstream.
+// a credit pipeline upstream. Channels are shard-global: a link's two
+// endpoints can land on different shards.
+//
+//nocvet:shared
 type channel struct {
 	link topology.Link
 	// next is the wire: it carries the flit driven this cycle. cur is
 	// the downstream router's link input latch, holding last cycle's
 	// flit until it is written into an input VC at the end of this
 	// cycle. Total per-hop latency: 1-cycle router + 1-cycle link.
-	cur, next transit
+	cur, next transit //nocvet:buffered
 	// creditNext carries VC-free indices flowing back to the source.
-	creditNext []int
+	creditNext []int //nocvet:buffered
 }
 
 // Params configures a network build.
@@ -78,7 +81,12 @@ type Params struct {
 	Seed     int64
 }
 
-// Network is a complete NoC instance.
+// Network is a complete NoC instance. Its fields are the shard-global
+// state of the cycle engine: phasesafe audits their phase read/write
+// sets (the per-node Routers/NICs/VCs they point at are shard-local and
+// stay unmarked).
+//
+//nocvet:shared
 type Network struct {
 	Mesh    *topology.Mesh
 	Routers []*router.Router
@@ -97,7 +105,12 @@ type Network struct {
 	// actually made are cleared.
 	activeRouters activeSet
 	activeNICs    activeSet
+	// Dirty-channel marking is an idempotent set insert from traverse
+	// (SendFlit/SendVCFree) consumed and rewritten by commit (shift); a
+	// sharded engine keeps per-shard dirty lists merged at the barrier.
+	//nocvet:ignore phasesafe idempotent dirty-marking; per-shard lists merged at the commit barrier
 	dirtyChannels []int
+	//nocvet:ignore phasesafe same dirty-marking protocol as dirtyChannels
 	chDirty       []bool
 	claimedLinks  []int
 	claimedEjects []int
@@ -107,6 +120,7 @@ type Network struct {
 
 	// FlitsOnLinks counts regular flit-cycles spent on links (link
 	// utilisation statistics).
+	//nocvet:ignore phasesafe commutative statistics counter; shards accumulate locally and sum at the barrier
 	FlitsOnLinks int64
 
 	// faults, when attached, degrades the hardware each cycle: failed
@@ -299,6 +313,7 @@ func (n *Network) LinkBusy(linkID int) bool {
 // neighbour) is visited this pass iff its ID is ahead of the cursor,
 // precisely matching full-scan semantics.
 func (n *Network) ActiveRouters() iter.Seq[*router.Router] {
+	//nocvet:ignore hotalloc2 iterator literal is ranged immediately by every caller and never escapes; the alloc-guard test pins 0 allocs/cycle
 	return func(yield func(*router.Router) bool) {
 		s := &n.activeRouters
 		for s.cur = 0; s.cur < len(s.ids); s.cur++ {
@@ -316,6 +331,8 @@ func (n *Network) ActiveRouterCount() int { return len(n.activeRouters.ids) }
 // Step advances the network one cycle. Only active routers and NICs are
 // visited; see DESIGN.md §9 for the argument that this is observably
 // identical to the historical visit-everyone loop.
+//
+//nocvet:hot
 func (n *Network) Step() {
 	// Retire members that went idle in an earlier cycle. Compaction is
 	// deliberately the first thing in a cycle — never mid-iteration —
@@ -365,6 +382,8 @@ func (n *Network) nicBusy(id int) bool { return !n.NICs[id].Idle() }
 // other channel touches: flit delivery targets this link's unique
 // (dst, port, vc) input and credits this link's unique (src, port)
 // credit file; router wakes dedupe through the sorted active set.
+//
+//nocvet:phase commit
 func (n *Network) shift() {
 	w := 0
 	for i := 0; i < len(n.dirtyChannels); i++ {

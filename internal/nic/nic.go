@@ -159,6 +159,8 @@ func (n *NIC) TotalSourceDepth() int {
 
 // Tick runs the per-cycle NIC work: drain ejection queues through the
 // consumer, then move source packets into the router injection queues.
+//
+//nocvet:phase route
 func (n *NIC) Tick(cycle int64) {
 	if n.Stall == nil || !n.Stall(cycle) {
 		for c := range n.eject {
