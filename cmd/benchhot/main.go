@@ -9,6 +9,7 @@
 //	benchhot                         # print JSON to stdout
 //	benchhot -benchjson BENCH_hotpath.json
 //	benchhot -benchtime 2s -scenario StepUniform/8x8
+//	benchhot -scenario StepSharded/32x32 -shards 4
 package main
 
 import (
@@ -38,6 +39,8 @@ type scenario struct {
 	W      int     `json:"w"`
 	H      int     `json:"h"`
 	Rate   float64 `json:"rate"`
+	// Shards is the intra-sim spatial shard count (0/1 = serial stepper).
+	Shards int `json:"shards,omitempty"`
 
 	NsPerCycle     float64 `json:"ns_per_cycle"`
 	CyclesPerSec   float64 `json:"cycles_per_sec"`
@@ -61,6 +64,15 @@ func scenarios() []scenario {
 		{Name: "StepIdle/4x4", Scheme: "FastPass", W: 4, H: 4, Rate: 0},
 		{Name: "StepIdle/8x8", Scheme: "FastPass", W: 8, H: 8, Rate: 0},
 		{Name: "StepUniformEscapeVC/8x8", Scheme: "EscapeVC", W: 8, H: 8, Rate: 0.10},
+		// The intra-sim scaling rows (ISSUE 7): the same mesh stepped by
+		// K spatial shards, bit-identical at every K, so ns/cycle is the
+		// only number allowed to move.
+		{Name: "StepSharded/32x32/shards1", Scheme: "FastPass", W: 32, H: 32, Rate: 0.10, Shards: 1},
+		{Name: "StepSharded/32x32/shards2", Scheme: "FastPass", W: 32, H: 32, Rate: 0.10, Shards: 2},
+		{Name: "StepSharded/32x32/shards4", Scheme: "FastPass", W: 32, H: 32, Rate: 0.10, Shards: 4},
+		{Name: "StepSharded/32x32/shards8", Scheme: "FastPass", W: 32, H: 32, Rate: 0.10, Shards: 8},
+		{Name: "StepSharded/64x64/shards1", Scheme: "FastPass", W: 64, H: 64, Rate: 0.10, Shards: 1},
+		{Name: "StepSharded/64x64/shards4", Scheme: "FastPass", W: 64, H: 64, Rate: 0.10, Shards: 4},
 	}
 }
 
@@ -77,7 +89,7 @@ func schemeByName(name string) noc.Scheme {
 func measure(sc *scenario) {
 	scheme := schemeByName(sc.Scheme)
 	res := testing.Benchmark(func(b *testing.B) {
-		inst := sim.Build(sim.Options{Scheme: scheme, W: sc.W, H: sc.H, Seed: 1})
+		inst := sim.Build(sim.Options{Scheme: scheme, W: sc.W, H: sc.H, Seed: 1, Shards: sc.Shards})
 		gen := &traffic.Generator{
 			Pattern: traffic.Uniform, Rate: sc.Rate, W: sc.W, H: sc.H,
 			Pool: inst.UsePool(),
@@ -117,6 +129,7 @@ func main() {
 	out := flag.String("benchjson", "", "write the JSON report to this file (default: stdout)")
 	benchtime := flag.Duration("benchtime", time.Second, "minimum measurement time per scenario")
 	filter := flag.String("scenario", "", "only run scenarios whose name contains this substring")
+	shards := flag.Int("shards", 0, "override every scenario's intra-sim shard count (0 = use each scenario's own)")
 	flag.Parse()
 
 	if err := flag.CommandLine.Set("test.benchtime", benchtime.String()); err != nil {
@@ -127,6 +140,9 @@ func main() {
 	for _, sc := range scenarios() {
 		if *filter != "" && !strings.Contains(sc.Name, *filter) {
 			continue
+		}
+		if *shards > 0 {
+			sc.Shards = *shards
 		}
 		measure(&sc)
 		fmt.Fprintf(os.Stderr, "%-28s %12.0f ns/cycle %14.0f cycles/sec %6d B/cycle %4d allocs/cycle\n",

@@ -37,6 +37,7 @@ func main() {
 	faultSpec := flag.String("faults", "", "fault-injection plan, e.g. 'linkfail:rate=1e-4,dur=64;corrupt:rate=1e-5;stallconsumer:node=3,at=500,perm'")
 	faultScale := flag.Float64("faultscale", 1, "multiplier applied to every rate in the fault plan")
 	watchdog := flag.String("watchdog", "on", "invariant watchdogs: on, off, or 'stride=..,deadlock=..,starve=..,leak=..'")
+	shards := flag.Int("shards", 1, "spatial shards stepping the mesh in parallel (bit-identical to 1; ignored by MinBD)")
 	flag.Parse()
 
 	scheme, err := noc.ParseScheme(*schemeName)
@@ -49,9 +50,12 @@ func main() {
 	if _, _, err := noc.ParseWatchdogSpec(*watchdog); err != nil {
 		log.Fatal(err)
 	}
+	if *shards < 1 {
+		log.Fatalf("-shards %d must be at least 1", *shards)
+	}
 	opts := noc.Options{
 		Scheme: scheme, W: *size, H: *size, VCs: *vcs, Seed: *seed, DrainPeriod: 8192,
-		Faults: *faultSpec, FaultScale: *faultScale, Watchdog: *watchdog,
+		Faults: *faultSpec, FaultScale: *faultScale, Watchdog: *watchdog, Shards: *shards,
 	}
 	if scheme == noc.MinBD {
 		// MinBD's deflection network carries neither the fault injector

@@ -1,7 +1,9 @@
 // Command sweep measures latency-vs-injection-rate curves (Fig. 7
 // style) for one or more schemes and prints them as CSV. Schemes run in
-// parallel, and each scheme's rate grid fans out too; the CSV is
-// bit-identical at any -j (see DESIGN.md on the determinism contract).
+// parallel, and each scheme's rate grid fans out too; with -shards each
+// simulation additionally steps its mesh with K spatial shards. The CSV
+// is bit-identical at any -j and any -shards (see DESIGN.md on the
+// determinism contract).
 //
 // With -faults the runs execute under deterministic fault injection;
 // with -fault-scales the command switches to the resilience experiment,
@@ -50,6 +52,7 @@ func main() {
 	faultScale := flag.Float64("faultscale", 1, "fault-plan rate multiplier (latency sweeps)")
 	faultScales := flag.String("fault-scales", "", "comma-separated intensity multipliers; switches to the resilience experiment (requires -faults)")
 	watchdog := flag.String("watchdog", "on", "invariant watchdogs: on, off, or tuning clauses")
+	shards := flag.Int("shards", 1, "spatial shards per simulation (bit-identical to 1; ignored by MinBD); composes with -j across runs")
 	flag.Parse()
 
 	cfg, err := buildConfig(*schemes, *patternName, *size, *seed, *rateMin, *rateMax, *rateStep, *jobs)
@@ -63,6 +66,10 @@ func main() {
 		log.Fatal(err)
 	}
 	cfg.faults, cfg.faultScale, cfg.watchdog = *faultSpec, *faultScale, *watchdog
+	if *shards < 1 {
+		log.Fatalf("-shards %d must be at least 1", *shards)
+	}
+	cfg.shards = *shards
 
 	if *faultScales != "" {
 		if *faultSpec == "" {
@@ -129,6 +136,9 @@ type sweepConfig struct {
 	faultScale float64
 	watchdog   string
 	scales     []float64
+	// shards is the intra-sim spatial shard count each run steps with;
+	// bit-identical to 1 by contract, so it never perturbs the CSV.
+	shards int
 }
 
 // buildConfig turns raw flag values into a validated sweepConfig.
@@ -215,7 +225,7 @@ func buildRateGrid(min, max, step float64) ([]float64, error) {
 func (cfg sweepConfig) baseConfig(scheme noc.Scheme) noc.SynthConfig {
 	base := noc.SynthConfig{
 		Options: noc.Options{Scheme: scheme, W: cfg.size, H: cfg.size, Seed: cfg.seed, DrainPeriod: 8192,
-			Faults: cfg.faults, FaultScale: cfg.faultScale, Watchdog: cfg.watchdog},
+			Faults: cfg.faults, FaultScale: cfg.faultScale, Watchdog: cfg.watchdog, Shards: cfg.shards},
 		Pattern: cfg.pattern,
 		Warmup:  cfg.warmup, Measure: cfg.measure, Drain: cfg.drain,
 	}

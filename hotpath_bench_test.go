@@ -12,6 +12,7 @@
 package repro_test
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -27,7 +28,14 @@ const stepBenchWarmup = 2000
 // runStepBench drives the raw inject+step loop at the given offered rate.
 func runStepBench(b *testing.B, scheme noc.Scheme, w, h int, rate float64) {
 	b.Helper()
-	inst := sim.Build(sim.Options{Scheme: scheme, W: w, H: h, Seed: 1})
+	runStepBenchShards(b, scheme, w, h, rate, 1)
+}
+
+// runStepBenchShards is runStepBench with an explicit intra-sim shard
+// count (DESIGN.md §12); shards == 1 is the serial stepper.
+func runStepBenchShards(b *testing.B, scheme noc.Scheme, w, h int, rate float64, shards int) {
+	b.Helper()
+	inst := sim.Build(sim.Options{Scheme: scheme, W: w, H: h, Seed: 1, Shards: shards})
 	gen := &traffic.Generator{Pattern: traffic.Uniform, Rate: rate, W: w, H: h, Pool: inst.UsePool()}
 	rng := rand.New(rand.NewSource(0x5eed))
 	tick := func() {
@@ -73,4 +81,22 @@ func BenchmarkStepIdle(b *testing.B) {
 // controller): the baseline schemes share this kernel.
 func BenchmarkStepUniformEscapeVC(b *testing.B) {
 	b.Run("8x8", func(b *testing.B) { runStepBench(b, noc.EscapeVC, 8, 8, 0.10) })
+}
+
+// BenchmarkStepSharded is the intra-sim scaling row: one 32×32 (and one
+// 64×64) mesh stepped by K spatial shards. shards=1 is the serial
+// stepper these meshes ran on before ISSUE 7; every other K must be
+// bit-identical to it (TestShardedStepBitIdentical), so the only thing
+// allowed to change here is the wall clock.
+func BenchmarkStepSharded(b *testing.B) {
+	for _, k := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("32x32/shards%d", k), func(b *testing.B) {
+			runStepBenchShards(b, noc.FastPass, 32, 32, 0.10, k)
+		})
+	}
+	for _, k := range []int{1, 4} {
+		b.Run(fmt.Sprintf("64x64/shards%d", k), func(b *testing.B) {
+			runStepBenchShards(b, noc.FastPass, 64, 64, 0.10, k)
+		})
+	}
 }

@@ -5,11 +5,15 @@
 // recovery mechanisms can be exercised against degraded silicon instead
 // of only healthy meshes.
 //
-// Everything is scheduled off the simulation cycle counter and drawn
-// from a per-injector seeded generator: a fault run is a pure function
-// of (plan, topology, seed). The parallel experiment runner shards
-// across whole simulations, each single-threaded with its own Injector,
-// so fault sweeps are bit-identical at any -j.
+// Everything is scheduled off the simulation cycle counter: the
+// once-per-cycle category rolls (BeginCycle) draw from a per-injector
+// seeded generator, while the per-event rolls (flit corruption, credit
+// loss) are hashed from (seed, cycle, link, pulse) — a pure function of
+// the event's identity, not of how many other events were rolled first.
+// A fault run is therefore a pure function of (plan, topology, seed)
+// and independent of evaluation order: bit-identical at any -j of the
+// parallel experiment runner and at any -shards of the intra-sim
+// sharded stepper, whose dirty-channel visit order is load-dependent.
 //
 // Fault plans are compact specs, e.g.
 //
@@ -332,6 +336,11 @@ type Injector struct {
 	plan Plan
 	rng  *rand.Rand
 
+	// hashKey salts the order-invariant per-event draws (RollCorrupt,
+	// RollCreditLoss, CorruptWord); derived from the same (plan, sim)
+	// seed material as rng but consumed positionally, never sequentially.
+	hashKey uint64
+
 	numLinks, numNodes, numPorts int
 
 	// *Until hold absolute expiry cycles per victim (MaxInt64 =
@@ -359,6 +368,7 @@ func NewInjector(plan Plan, numLinks, numNodes, numPorts int, seed int64) *Injec
 	j := &Injector{
 		plan:               plan,
 		rng:                rand.New(rand.NewSource(plan.Seed ^ (seed+1)*0x5deece66d)),
+		hashKey:            splitmix64(uint64(plan.Seed) ^ uint64(seed+1)*0x5deece66d),
 		numLinks:           numLinks,
 		numNodes:           numNodes,
 		numPorts:           numPorts,
@@ -469,33 +479,68 @@ func (j *Injector) ConsumerStalled(node int) bool {
 	return j.cycle < j.consumerStallUntil[node]
 }
 
-// RollCorrupt draws one corruption decision for a flit traversing a
-// link, counting hits.
-func (j *Injector) RollCorrupt() bool {
+// Salts keep the per-event draw categories statistically independent of
+// each other at the same (cycle, link) key.
+const (
+	saltCorrupt    = 0x636f727275707431 // "corrupt1"
+	saltCorruptBit = 0x636f727275707432 // "corrupt2"
+	saltCredit     = 0x6372656469746c73 // "creditls"
+)
+
+// hash mixes the injector key, the current cycle and an event identity
+// into an order-invariant 64-bit draw.
+func (j *Injector) hash(link, sub int, salt uint64) uint64 {
+	x := splitmix64(j.hashKey ^ uint64(j.cycle)*0x9e3779b97f4a7c15)
+	return splitmix64(x ^ uint64(link)<<20 ^ uint64(sub)<<1 ^ salt)
+}
+
+// roll01 maps a hashed draw onto [0, 1) with 53-bit resolution.
+func (j *Injector) roll01(link, sub int, salt uint64) float64 {
+	return float64(j.hash(link, sub, salt)>>11) / (1 << 53)
+}
+
+// RollCorrupt draws one corruption decision for the flit traversing the
+// given link this cycle, counting hits. The draw is a pure function of
+// (seed, cycle, link): links can be visited in any order — or by any
+// shard — without perturbing other links' outcomes.
+func (j *Injector) RollCorrupt(link int) bool {
 	if j.plan.CorruptRate <= 0 {
 		return false
 	}
-	if j.rng.Float64() >= j.plan.CorruptRate {
+	if j.roll01(link, 0, saltCorrupt) >= j.plan.CorruptRate {
 		return false
 	}
 	j.Counters.FlitsCorrupted++
 	return true
 }
 
-// CorruptWord flips one uniformly random bit of a payload word.
-func (j *Injector) CorruptWord(w uint64) uint64 { return w ^ (1 << uint(j.rng.Intn(64))) }
+// CorruptWord flips one uniformly random bit of the payload word
+// crossing the given link this cycle.
+func (j *Injector) CorruptWord(w uint64, link int) uint64 {
+	return w ^ (1 << (j.hash(link, 0, saltCorruptBit) & 63))
+}
 
-// RollCreditLoss draws one loss decision for a credit pulse, counting
-// hits.
-func (j *Injector) RollCreditLoss() bool {
+// RollCreditLoss draws one loss decision for the pulse-th credit in the
+// given link's pipe this cycle, counting hits. Order-invariant like
+// RollCorrupt.
+func (j *Injector) RollCreditLoss(link, pulse int) bool {
 	if j.plan.CreditLossRate <= 0 {
 		return false
 	}
-	if j.rng.Float64() >= j.plan.CreditLossRate {
+	if j.roll01(link, pulse, saltCredit) >= j.plan.CreditLossRate {
 		return false
 	}
 	j.Counters.CreditsLost++
 	return true
+}
+
+// splitmix64 is the SplitMix64 finalizer (Steele et al., OOPSLA 2014):
+// a bijective avalanche mix turning structured keys into uniform draws.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // NoteCorruptionDetected records a checksum mismatch caught at

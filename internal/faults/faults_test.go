@@ -59,18 +59,18 @@ func TestParsePlanEmpty(t *testing.T) {
 
 func TestParsePlanErrors(t *testing.T) {
 	bad := []string{
-		"linkfail",                    // missing rate
-		"linkfail:rate=2",             // rate outside [0,1]
-		"linkfail:rate=x",             // unparsable
-		"meteor:rate=0.1",             // unknown kind
-		"linkfail:rate=0.1,knob=3",    // unknown parameter
-		"linkfail:at=5",               // targeted without link=
-		"portstall:node=1,at=5",       // targeted without port=
-		"stallconsumer:at=5",          // targeted without node=
-		"corrupt:rate=0.1,at=3",       // kind does not take at=
-		"seed=x",                      // bad seed
-		"frobnicate=1",                // unknown directive
-		"linkfail:rate=0.1,dur=x",     // bad duration
+		"linkfail",                 // missing rate
+		"linkfail:rate=2",          // rate outside [0,1]
+		"linkfail:rate=x",          // unparsable
+		"meteor:rate=0.1",          // unknown kind
+		"linkfail:rate=0.1,knob=3", // unknown parameter
+		"linkfail:at=5",            // targeted without link=
+		"portstall:node=1,at=5",    // targeted without port=
+		"stallconsumer:at=5",       // targeted without node=
+		"corrupt:rate=0.1,at=3",    // kind does not take at=
+		"seed=x",                   // bad seed
+		"frobnicate=1",             // unknown directive
+		"linkfail:rate=0.1,dur=x",  // bad duration
 		"portstall:rate=0.1;portstall:node=a,port=1,at=1", // bad node
 	}
 	for _, spec := range bad {
@@ -177,7 +177,7 @@ func TestTargetedEventWindow(t *testing.T) {
 func TestRolls(t *testing.T) {
 	j := NewInjector(MustParsePlan("corrupt:rate=1;creditloss:rate=1"), 4, 2, 5, 1)
 	j.BeginCycle(0)
-	if !j.RollCorrupt() || !j.RollCreditLoss() {
+	if !j.RollCorrupt(2) || !j.RollCreditLoss(2, 0) {
 		t.Error("rate-1 rolls must always hit")
 	}
 	if j.Counters.FlitsCorrupted != 1 || j.Counters.CreditsLost != 1 {
@@ -185,12 +185,42 @@ func TestRolls(t *testing.T) {
 	}
 	z := NewInjector(Plan{}, 4, 2, 5, 1)
 	z.BeginCycle(0)
-	if z.RollCorrupt() || z.RollCreditLoss() {
+	if z.RollCorrupt(2) || z.RollCreditLoss(2, 0) {
 		t.Error("zero plan must never roll a fault")
 	}
-	w := j.CorruptWord(0xdeadbeef)
+	w := j.CorruptWord(0xdeadbeef, 2)
 	if bits.OnesCount64(w^0xdeadbeef) != 1 {
 		t.Errorf("CorruptWord must flip exactly one bit (flipped %d)", bits.OnesCount64(w^0xdeadbeef))
+	}
+}
+
+// The per-event rolls are pure functions of (seed, cycle, link, pulse):
+// the order links are visited in — which under intra-sim sharding
+// depends on the shard count — must not perturb any outcome.
+func TestRollsOrderInvariant(t *testing.T) {
+	draw := func(order []int) []bool {
+		j := NewInjector(MustParsePlan("corrupt:rate=0.5;creditloss:rate=0.5"), 8, 2, 5, 42)
+		j.BeginCycle(7)
+		out := make([]bool, 2*8)
+		for _, link := range order {
+			out[2*link] = j.RollCorrupt(link)
+			out[2*link+1] = j.RollCreditLoss(link, 3)
+		}
+		return out
+	}
+	fwd := draw([]int{0, 1, 2, 3, 4, 5, 6, 7})
+	rev := draw([]int{7, 3, 5, 1, 6, 2, 4, 0})
+	for i := range fwd {
+		if fwd[i] != rev[i] {
+			t.Fatalf("draw %d differs between visit orders (%v vs %v)", i, fwd, rev)
+		}
+	}
+	hit := false
+	for _, v := range fwd {
+		hit = hit || v
+	}
+	if !hit {
+		t.Error("rate-0.5 rolls over 8 links hit nothing — hash likely degenerate")
 	}
 }
 

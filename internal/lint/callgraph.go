@@ -49,8 +49,11 @@ const (
 )
 
 // PhaseNames is the closed set of cycle-engine phases, in execution
-// order within a cycle.
-var PhaseNames = []string{"route", "alloc", "traverse", "commit"}
+// order within a cycle. consume (NIC ejection-queue drain through the
+// protocol engine / packet arena) is serial even under intra-sim
+// sharding; the rest are the classic route/alloc/traverse pipeline plus
+// the register-shift commit.
+var PhaseNames = []string{"consume", "route", "alloc", "traverse", "commit"}
 
 // FuncNode is one declared function or method in the program graph.
 type FuncNode struct {

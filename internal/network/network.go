@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"iter"
 	"math/rand"
+	"sync"
 
 	"repro/internal/faults"
 	"repro/internal/message"
@@ -79,6 +80,9 @@ type Params struct {
 	Router   router.Config
 	EjectCap int
 	Seed     int64
+	// Shards is the spatial shard count for Step (0 or 1 → serial).
+	// See DESIGN.md §12; SetShards can change it later.
+	Shards int
 }
 
 // Network is a complete NoC instance. Its fields are the shard-global
@@ -99,28 +103,47 @@ type Network struct {
 	ejectClaims []bool
 	cycle       int64
 
-	// Active-set cycle engine state (see DESIGN.md §9): only routers
-	// holding packets and NICs holding queued work are visited by Step;
-	// only channels carrying flits or credits are shifted; only claims
-	// actually made are cleared.
-	activeRouters activeSet
-	activeNICs    activeSet
+	// Active-set cycle engine state (see DESIGN.md §9) lives in the
+	// shards (DESIGN.md §12): each shard owns the active router/NIC sets
+	// for its contiguous node range, a private dirty-channel queue and a
+	// private flit counter. With one shard (the default) Step runs the
+	// serial loop on shards[0]; with K > 1 the per-node phases run
+	// shard-parallel and the accumulators merge at the barrier.
+	shards  []*shardState
+	shardOf []int32 // owning shard per node ID
+	// wg and shardPanics are the reusable barrier plumbing of the
+	// parallel sections (runSection): workers park panics per shard and
+	// the barrier re-raises the lowest shard index, so a simulator bug
+	// aborts deterministically regardless of goroutine scheduling.
+	wg          sync.WaitGroup
+	shardPanics []any
 	// Dirty-channel marking is an idempotent set insert from traverse
 	// (SendFlit/SendVCFree) consumed and rewritten by commit (shift); a
-	// sharded engine keeps per-shard dirty lists merged at the barrier.
-	//nocvet:ignore phasesafe idempotent dirty-marking; per-shard lists merged at the commit barrier
+	// sharded engine keeps per-shard dirty lists (shardState.dirty)
+	// merged into these at the pre-shift barrier (mergeShardEffects).
+	//nocvet:ignore phasesafe idempotent dirty-marking; per-shard lists merged at the commit barrier (shard.go)
 	dirtyChannels []int
 	//nocvet:ignore phasesafe same dirty-marking protocol as dirtyChannels
 	chDirty       []bool
 	claimedLinks  []int
 	claimedEjects []int
 
-	// Rand is the single deterministic source for the simulation.
-	Rand *rand.Rand
+	// seed is the master simulation seed; per-node substreams derive
+	// from it (NodeRand). A single shared generator would make draw
+	// interleaving depend on evaluation order — and therefore on the
+	// shard count — so there deliberately is no Network-wide stream.
+	seed     int64
+	nodeRand []*rand.Rand
+
+	// deferEject is true while the sharded router phase runs: NIC
+	// ejection observers (OnEject) buffer per NIC instead of firing
+	// mid-phase, and flush in ascending node order at the barrier —
+	// the order the serial loop fires them in.
+	deferEject bool
 
 	// FlitsOnLinks counts regular flit-cycles spent on links (link
 	// utilisation statistics).
-	//nocvet:ignore phasesafe commutative statistics counter; shards accumulate locally and sum at the barrier
+	//nocvet:ignore phasesafe commutative statistics counter; shards accumulate locally (shardState.flits) and sum at the barrier
 	FlitsOnLinks int64
 
 	// faults, when attached, degrades the hardware each cycle: failed
@@ -145,7 +168,7 @@ func New(p Params) *Network {
 	n := &Network{
 		Mesh:       p.Mesh,
 		Controller: NopController{Label: "none"},
-		Rand:       rand.New(rand.NewSource(p.Seed)),
+		seed:       p.Seed,
 	}
 	links := p.Mesh.Links()
 	n.channels = make([]*channel, len(links))
@@ -155,18 +178,35 @@ func New(p Params) *Network {
 	n.linkClaims = make([]bool, len(links))
 	n.ejectClaims = make([]bool, p.Mesh.NumNodes())
 	n.chDirty = make([]bool, len(links))
-	n.activeRouters = newActiveSet(p.Mesh.NumNodes())
-	n.activeNICs = newActiveSet(p.Mesh.NumNodes())
+	n.shardOf = make([]int32, p.Mesh.NumNodes())
+	n.nodeRand = make([]*rand.Rand, p.Mesh.NumNodes())
+	n.SetShards(1)
 	for id := 0; id < p.Mesh.NumNodes(); id++ {
 		n.Routers = append(n.Routers, router.New(id, p.Mesh, p.Router, n))
 		nc := nic.New(id, p.EjectCap)
 		r := n.Routers[id]
 		nc.Inject = r.InjectPacket
 		node := id
-		nc.OnActive = func() { n.activeNICs.add(node) }
+		nc.OnActive = func() { n.wakeNIC(node) }
+		nc.DeferEject = &n.deferEject
 		n.NICs = append(n.NICs, nc)
 	}
+	if p.Shards > 1 {
+		n.SetShards(p.Shards)
+	}
 	return n
+}
+
+// NodeRand returns the node's private deterministic generator, lazily
+// created from the master seed and the node ID via a SplitMix64 stream.
+// Substreams keep draw interleaving independent of evaluation order —
+// and therefore of the shard count.
+func (n *Network) NodeRand(node int) *rand.Rand {
+	if n.nodeRand[node] == nil {
+		s := splitmix64(uint64(n.seed) + (uint64(node)+1)*0x9e3779b97f4a7c15)
+		n.nodeRand[node] = rand.New(rand.NewSource(int64(s)))
+	}
+	return n.nodeRand[node]
 }
 
 // NIC returns the network interface of a node (protocol backend).
@@ -232,8 +272,8 @@ func (n *Network) SendVCFree(linkID int, vc int) {
 }
 
 // WakeRouter implements router.Env: the node's router gained a packet
-// and joins the active set (idempotent).
-func (n *Network) WakeRouter(node int) { n.activeRouters.add(node) }
+// and joins its shard's active set (idempotent).
+func (n *Network) WakeRouter(node int) { n.wakeRouter(node) }
 
 // markChannel registers a channel as carrying traffic so shift visits
 // it.
@@ -311,35 +351,87 @@ func (n *Network) LinkBusy(linkID int) bool {
 // would not be a no-op. Controllers use it for their per-cycle scans.
 // A router woken during the iteration (a forced move into an empty
 // neighbour) is visited this pass iff its ID is ahead of the cursor,
-// precisely matching full-scan semantics.
+// precisely matching full-scan semantics. Shards hold contiguous node
+// ranges in order, so chaining their sorted sets yields the globally
+// sorted walk, and a cross-shard wake lands ahead of or behind the
+// walk exactly as a full scan would have it.
 func (n *Network) ActiveRouters() iter.Seq[*router.Router] {
 	//nocvet:ignore hotalloc2 iterator literal is ranged immediately by every caller and never escapes; the alloc-guard test pins 0 allocs/cycle
 	return func(yield func(*router.Router) bool) {
-		s := &n.activeRouters
-		for s.cur = 0; s.cur < len(s.ids); s.cur++ {
-			if !yield(n.Routers[s.ids[s.cur]]) {
-				break
+		for _, sh := range n.shards {
+			s := &sh.activeRouters
+			for s.cur = 0; s.cur < len(s.ids); s.cur++ {
+				if !yield(n.Routers[s.ids[s.cur]]) {
+					s.cur = -1
+					return
+				}
 			}
+			s.cur = -1
 		}
-		s.cur = -1
 	}
 }
 
 // ActiveRouterCount reports the current active-set size (diagnostics).
-func (n *Network) ActiveRouterCount() int { return len(n.activeRouters.ids) }
+func (n *Network) ActiveRouterCount() int {
+	c := 0
+	for _, sh := range n.shards {
+		c += len(sh.activeRouters.ids)
+	}
+	return c
+}
 
 // Step advances the network one cycle. Only active routers and NICs are
 // visited; see DESIGN.md §9 for the argument that this is observably
-// identical to the historical visit-everyone loop.
+// identical to the historical visit-everyone loop, and DESIGN.md §12
+// for the proof that the sharded loop is bit-identical to this one.
 //
 //nocvet:hot
 func (n *Network) Step() {
+	if len(n.shards) > 1 {
+		n.stepSharded()
+		return
+	}
+	sh := n.shards[0]
 	// Retire members that went idle in an earlier cycle. Compaction is
 	// deliberately the first thing in a cycle — never mid-iteration —
 	// and is purely an optimisation: a stale active member's Step/Tick
 	// is a no-op.
-	n.activeRouters.compact(n.routerOccupied)
-	n.activeNICs.compact(n.nicBusy)
+	sh.activeRouters.compact(n.routerOccupied)
+	sh.activeNICs.compact(n.nicBusy)
+	n.beginCycle()
+	// NIC consumption before NIC injection, as two passes rather than
+	// one fused Tick: consumption's only self-feedback is same-node
+	// (protocol responses enqueue at the consuming core), so splitting
+	// the phases is order-preserving — and it is what lets the sharded
+	// loop keep consumption serial (global protocol/pool state) while
+	// injection runs shard-parallel.
+	nics := &sh.activeNICs
+	for nics.cur = 0; nics.cur < len(nics.ids); nics.cur++ {
+		n.NICs[nics.ids[nics.cur]].TickConsume(n.cycle)
+	}
+	nics.cur = -1
+	for nics.cur = 0; nics.cur < len(nics.ids); nics.cur++ {
+		n.NICs[nics.ids[nics.cur]].TickInject(n.cycle)
+	}
+	nics.cur = -1
+	routers := &sh.activeRouters
+	for routers.cur = 0; routers.cur < len(routers.ids); routers.cur++ {
+		n.Routers[routers.ids[routers.cur]].Step()
+	}
+	routers.cur = -1
+	n.Controller.PostCycle(n)
+	n.shift()
+	if n.Probe != nil {
+		n.Probe()
+	}
+	n.cycle++
+}
+
+// beginCycle is the serial cycle prologue shared by both loops: expire
+// claims, advance fault state, run the controller's PreCycle. Fault
+// state advances before controllers and routers observe the cycle, so a
+// link that fails this cycle refuses flits this cycle.
+func (n *Network) beginCycle() {
 	for _, id := range n.claimedLinks {
 		n.linkClaims[id] = false
 	}
@@ -348,23 +440,52 @@ func (n *Network) Step() {
 		n.ejectClaims[id] = false
 	}
 	n.claimedEjects = n.claimedEjects[:0]
-	// Fault state advances before controllers and routers observe the
-	// cycle, so a link that fails this cycle refuses flits this cycle.
 	if n.faults != nil {
 		n.faults.BeginCycle(n.cycle)
 	}
 	n.Controller.PreCycle(n)
-	nics := &n.activeNICs
-	for nics.cur = 0; nics.cur < len(nics.ids); nics.cur++ {
-		n.NICs[nics.ids[nics.cur]].Tick(n.cycle)
+}
+
+// stepSharded is Step for K > 1 shards (DESIGN.md §12). Phase structure:
+//
+//	A  compaction                 shard-parallel (own sets only)
+//	   claims / faults / PreCycle serial (global state, lookahead scans)
+//	   NIC consume                serial, ascending node order
+//	                              (protocol engine + packet arena are
+//	                              simulation-global)
+//	B  NIC inject + router step   shard-parallel; cross-shard effects go
+//	                              to per-shard accumulators; ejection
+//	                              observers defer
+//	   OnEject flush              serial, ascending node order — the
+//	                              order the serial loop fires them in
+//	   PostCycle                  serial
+//	   merge                      per-shard dirty lists + flit counters
+//	   shift / Probe              serial
+//
+// During section B a shard writes only (a) state of its own nodes,
+// (b) the next/creditNext stage of channels for which its routers are
+// the unique writer, and (c) its own accumulators — so shards never
+// contend, and the merged effect sequence is independent of K.
+func (n *Network) stepSharded() {
+	n.runSection(sectionCompact)
+	n.beginCycle()
+	for _, sh := range n.shards {
+		nics := &sh.activeNICs
+		for nics.cur = 0; nics.cur < len(nics.ids); nics.cur++ {
+			n.NICs[nics.ids[nics.cur]].TickConsume(n.cycle)
+		}
+		nics.cur = -1
 	}
-	nics.cur = -1
-	routers := &n.activeRouters
-	for routers.cur = 0; routers.cur < len(routers.ids); routers.cur++ {
-		n.Routers[routers.ids[routers.cur]].Step()
+	n.deferEject = true
+	n.runSection(sectionInjectRoute)
+	n.deferEject = false
+	for _, sh := range n.shards {
+		for _, id := range sh.activeNICs.ids {
+			n.NICs[id].FlushEjects()
+		}
 	}
-	routers.cur = -1
 	n.Controller.PostCycle(n)
+	n.mergeShardEffects()
 	n.shift()
 	if n.Probe != nil {
 		n.Probe()
@@ -407,17 +528,20 @@ func (n *Network) shift() {
 		ch.cur = ch.next
 		ch.next = transit{}
 		// The flit that just crossed the wire may have had a bit
-		// flipped by the injected corruption rate.
-		if n.faults != nil && ch.cur.valid && n.faults.RollCorrupt() {
-			ch.cur.payload = n.faults.CorruptWord(ch.cur.payload)
+		// flipped by the injected corruption rate. Rolls are hashed per
+		// (cycle, link) — not drawn from a sequential stream — so the
+		// dirty-list visit order (which depends on wake history and
+		// shard count) cannot reorder the draws.
+		if n.faults != nil && ch.cur.valid && n.faults.RollCorrupt(id) {
+			ch.cur.payload = n.faults.CorruptWord(ch.cur.payload, id)
 		}
 		if len(ch.creditNext) > 0 {
 			src := n.Routers[ch.link.Src]
-			for _, vc := range ch.creditNext {
+			for pulse, vc := range ch.creditNext {
 				// A lost credit pulse never reaches the source: its
 				// view of the downstream VC stays claimed forever —
 				// the leak the credit-conservation watchdog hunts.
-				if n.faults != nil && n.faults.RollCreditLoss() {
+				if n.faults != nil && n.faults.RollCreditLoss(id, pulse) {
 					continue
 				}
 				src.MarkVCFree(ch.link.SrcPort, vc)
@@ -468,15 +592,21 @@ func (n *Network) FlitsInFlight() int {
 
 // VerifyQuiescent checks the invariants of an empty network: no
 // resident packets, no flits in flight, every credit returned (each
-// router sees every downstream VC free), and no pending credits in the
-// pipes. Drain-style tests call it after full delivery — any violation
-// is a leak in buffer or credit bookkeeping.
+// router sees every downstream VC free), no pending credits in the
+// pipes, and every NIC ring empty (source, ejection, reservations,
+// reassembly, deferred observers). Drain-style tests call it after full
+// delivery — any violation is a leak in buffer or credit bookkeeping.
 func (n *Network) VerifyQuiescent() error {
 	if got := len(n.ResidentPackets()); got != 0 {
 		return fmt.Errorf("network: %d packets still resident", got)
 	}
 	if got := n.FlitsInFlight(); got != 0 {
 		return fmt.Errorf("network: %d flits still on links", got)
+	}
+	for _, nc := range n.NICs {
+		if err := nc.Quiescent(); err != nil {
+			return fmt.Errorf("network: %w", err)
+		}
 	}
 	for _, ch := range n.channels {
 		if len(ch.creditNext) != 0 {

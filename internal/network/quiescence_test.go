@@ -1,0 +1,62 @@
+package network
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/message"
+	"repro/internal/nic"
+	"repro/internal/routing"
+)
+
+// VerifyQuiescent historically audited routers, links and credits but
+// never the NICs: a packet leaked into a NIC source or ejection ring
+// passed quiescence. These are the drain tests that would have caught
+// it — each parks a packet in one NIC ring, asserts the audit now names
+// it, then finishes the drain and asserts the audit goes quiet again.
+
+func TestVerifyQuiescentCatchesEjectionLeak(t *testing.T) {
+	n := New(paramsWith(4, 4, 1, 2, routing.XY))
+	// A consumer that never drains: the delivered packet sits in the
+	// ejection ring while routers, links and credits all look pristine.
+	n.NICs[15].Consumer = nic.ConsumeFunc(func(int64, *message.Packet) bool { return false })
+	n.NICs[0].EnqueueSource(message.NewPacket(1, 0, 15, message.Request, 1, 0))
+	for i := 0; i < 200 && n.NICs[15].EjectDepth(message.Request) == 0; i++ {
+		n.Step()
+	}
+	if n.NICs[15].EjectDepth(message.Request) == 0 {
+		t.Fatal("packet never reached the ejection queue")
+	}
+	n.Run(40) // let credits land so only the NIC ring is dirty
+	err := n.VerifyQuiescent()
+	if err == nil {
+		t.Fatal("VerifyQuiescent passed with a packet leaked in an ejection ring")
+	}
+	if !strings.Contains(err.Error(), "awaiting consumption") {
+		t.Errorf("error %q does not name the ejection-ring leak", err)
+	}
+	// Un-wedge and finish the drain: the audit must go quiet.
+	n.NICs[15].Consumer = nic.ImmediateConsumer
+	n.Run(10)
+	if err := n.VerifyQuiescent(); err != nil {
+		t.Fatalf("after full drain: %v", err)
+	}
+}
+
+func TestVerifyQuiescentCatchesSourceLeak(t *testing.T) {
+	n := New(paramsWith(4, 4, 1, 2, routing.XY))
+	n.NICs[3].EnqueueSource(message.NewPacket(7, 3, 9, message.Request, 1, 0))
+	err := n.VerifyQuiescent()
+	if err == nil {
+		t.Fatal("VerifyQuiescent passed with a packet queued at a source")
+	}
+	if !strings.Contains(err.Error(), "queued at source") {
+		t.Errorf("error %q does not name the source-ring leak", err)
+	}
+	for i := 0; i < 200; i++ {
+		n.Step()
+	}
+	if err := n.VerifyQuiescent(); err != nil {
+		t.Fatalf("after delivery: %v", err)
+	}
+}

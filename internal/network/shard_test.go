@@ -1,0 +1,220 @@
+package network
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/message"
+	"repro/internal/routing"
+)
+
+// ejectRecord is one observable delivery event: which node delivered
+// which packet at which cycle, in OnEject firing order. The sharded
+// loop must reproduce the serial sequence exactly — order included.
+type ejectRecord struct {
+	node  int
+	pkt   uint64
+	cycle int64
+}
+
+// driveBurst runs an all-to-all burst with staggered enqueue times on a
+// fresh 4×4 network with the given shard count, recording the full
+// ejection sequence and a per-cycle flit-count trace.
+func driveBurst(t *testing.T, shards int) ([]ejectRecord, []int64, *Network) {
+	t.Helper()
+	n := New(paramsWith(4, 4, 1, 2, routing.XY))
+	n.SetShards(shards)
+	var ejects []ejectRecord
+	for id, nc := range n.NICs {
+		node := id
+		nc.OnEject = func(p *message.Packet) {
+			ejects = append(ejects, ejectRecord{node: node, pkt: p.ID, cycle: n.Cycle()})
+		}
+	}
+	var flitTrace []int64
+	id := uint64(0)
+	step := func() {
+		n.Step()
+		flitTrace = append(flitTrace, n.FlitsOnLinks)
+	}
+	// Staggered all-to-all: a few sources enqueue each cycle, so wakes,
+	// dirty lists and active sets churn while the network is stepping.
+	for s := 0; s < 16; s++ {
+		for d := 0; d < 16; d++ {
+			if s == d {
+				continue
+			}
+			id++
+			ln := 1
+			if id%2 == 0 {
+				ln = 5
+			}
+			n.NICs[s].EnqueueSource(message.NewPacket(id, s, d, message.Class(id%6), ln, n.Cycle()))
+		}
+		step()
+		step()
+	}
+	for i := 0; i < 5000 && len(ejects) < int(id); i++ {
+		step()
+	}
+	if len(ejects) != int(id) {
+		t.Fatalf("shards=%d: delivered %d of %d packets", shards, len(ejects), id)
+	}
+	for i := 0; i < 20; i++ {
+		step() // trailing credits
+	}
+	return ejects, flitTrace, n
+}
+
+// TestShardedStepBitIdentical is the tentpole invariant at the network
+// layer: -shards 1 and -shards N produce the identical ejection
+// sequence (same packets, same nodes, same cycles, same order) and the
+// identical per-cycle link-utilisation trace, and both drain to a
+// quiescent network.
+func TestShardedStepBitIdentical(t *testing.T) {
+	baseEj, baseFl, _ := driveBurst(t, 1)
+	for _, k := range []int{2, 3, 4, 16} {
+		k := k
+		t.Run(fmt.Sprintf("shards=%d", k), func(t *testing.T) {
+			ej, fl, n := driveBurst(t, k)
+			if n.Shards() != k {
+				t.Fatalf("Shards() = %d, want %d", n.Shards(), k)
+			}
+			if len(ej) != len(baseEj) {
+				t.Fatalf("delivered %d packets, serial delivered %d", len(ej), len(baseEj))
+			}
+			for i := range ej {
+				if ej[i] != baseEj[i] {
+					t.Fatalf("ejection %d = %+v, serial had %+v", i, ej[i], baseEj[i])
+				}
+			}
+			for i := range fl {
+				if fl[i] != baseFl[i] {
+					t.Fatalf("cycle %d: FlitsOnLinks = %d, serial had %d", i, fl[i], baseFl[i])
+				}
+			}
+			if err := n.VerifyQuiescent(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestSetShardsMidRun repartitions a live network mid-burst — active
+// members, dirty channels and flits in flight must carry over without
+// perturbing the outcome.
+func TestSetShardsMidRun(t *testing.T) {
+	baseEj, baseFl, _ := driveBurst(t, 1)
+	n := New(paramsWith(4, 4, 1, 2, routing.XY))
+	var ejects []ejectRecord
+	for id, nc := range n.NICs {
+		node := id
+		nc.OnEject = func(p *message.Packet) {
+			ejects = append(ejects, ejectRecord{node: node, pkt: p.ID, cycle: n.Cycle()})
+		}
+	}
+	var flitTrace []int64
+	reshard := []int{1, 4, 2, 16, 3, 1}
+	id := uint64(0)
+	step := func() {
+		n.SetShards(reshard[int(n.Cycle())%len(reshard)])
+		n.Step()
+		flitTrace = append(flitTrace, n.FlitsOnLinks)
+	}
+	for s := 0; s < 16; s++ {
+		for d := 0; d < 16; d++ {
+			if s == d {
+				continue
+			}
+			id++
+			ln := 1
+			if id%2 == 0 {
+				ln = 5
+			}
+			n.NICs[s].EnqueueSource(message.NewPacket(id, s, d, message.Class(id%6), ln, n.Cycle()))
+		}
+		step()
+		step()
+	}
+	for i := 0; i < 5000 && len(ejects) < int(id); i++ {
+		step()
+	}
+	for i := 0; i < 20; i++ {
+		step()
+	}
+	if len(ejects) != len(baseEj) {
+		t.Fatalf("delivered %d packets, serial delivered %d", len(ejects), len(baseEj))
+	}
+	for i := range ejects {
+		if ejects[i] != baseEj[i] {
+			t.Fatalf("ejection %d = %+v, serial had %+v", i, ejects[i], baseEj[i])
+		}
+	}
+	for i := range flitTrace {
+		if flitTrace[i] != baseFl[i] {
+			t.Fatalf("cycle %d: FlitsOnLinks = %d, serial had %d", i, flitTrace[i], baseFl[i])
+		}
+	}
+	if err := n.VerifyQuiescent(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNodeRandShardCountInvariant is the Network.Rand bugfix regression:
+// per-node substreams must hand out the same sequence to each node
+// regardless of the shard count and of how draws from different nodes
+// interleave. (The old single shared stream failed exactly this: any
+// reordering of injector evaluation reshuffled every node's draws.)
+func TestNodeRandShardCountInvariant(t *testing.T) {
+	const nodes, draws = 16, 32
+	a := New(paramsWith(4, 4, 1, 2, routing.XY)) // shards = 1
+	b := New(paramsWith(4, 4, 1, 2, routing.XY))
+	b.SetShards(4)
+	// a draws node-major, b draws round-robin: with a shared stream the
+	// two interleavings would consume different prefixes per node.
+	want := make([][]int64, nodes)
+	for node := 0; node < nodes; node++ {
+		want[node] = make([]int64, draws)
+		for i := 0; i < draws; i++ {
+			want[node][i] = a.NodeRand(node).Int63()
+		}
+	}
+	got := make([][]int64, nodes)
+	for node := range got {
+		got[node] = make([]int64, 0, draws)
+	}
+	for i := 0; i < draws; i++ {
+		for node := nodes - 1; node >= 0; node-- {
+			got[node] = append(got[node], b.NodeRand(node).Int63())
+		}
+	}
+	for node := 0; node < nodes; node++ {
+		for i := 0; i < draws; i++ {
+			if got[node][i] != want[node][i] {
+				t.Fatalf("node %d draw %d: shards=4 round-robin got %d, shards=1 node-major got %d",
+					node, i, got[node][i], want[node][i])
+			}
+		}
+	}
+	// Distinct nodes must still get distinct streams.
+	if want[0][0] == want[1][0] && want[0][1] == want[1][1] {
+		t.Error("nodes 0 and 1 share a substream")
+	}
+}
+
+// TestShardPanicPropagates: a simulator bug inside a parallel section
+// must surface as a panic on the stepping goroutine, not crash a worker.
+func TestShardPanicPropagates(t *testing.T) {
+	n := New(paramsWith(4, 4, 1, 2, routing.XY))
+	n.SetShards(4)
+	n.NICs[9].EnqueueSource(message.NewPacket(1, 9, 0, message.Request, 1, 0))
+	n.NICs[9].Inject = func(*message.Packet) bool { panic("network: rigged injection failure") }
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("worker panic did not propagate to Step's caller")
+		}
+	}()
+	for i := 0; i < 4; i++ {
+		n.Step()
+	}
+}

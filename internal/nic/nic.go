@@ -53,6 +53,14 @@ type NIC struct {
 	// OnEject, when set, observes every packet leaving the network.
 	OnEject func(pkt *message.Packet)
 
+	// DeferEject, when set and pointing at true, buffers OnEject
+	// notifications instead of firing them inline; FlushEjects delivers
+	// them later. The sharded network flips the flag around its parallel
+	// router phase so observer callbacks (stats, traces) keep firing in
+	// ascending node order from serial code. Ejection bookkeeping itself
+	// (queues, reservations) is never deferred.
+	DeferEject *bool
+
 	// Recycle, when set, receives every packet the consumer has drained
 	// — the packet's last observable moment. The synthetic harness wires
 	// this to a message.Pool so delivered packets become arena capacity
@@ -95,6 +103,10 @@ type NIC struct {
 	// router per class, with the flit count received.
 	assembling     [message.NumClasses]*message.Packet
 	assembledFlits [message.NumClasses]int
+
+	// deferred holds packets whose OnEject notification is postponed
+	// until FlushEjects (see DeferEject).
+	deferred ringq.Ring[*message.Packet]
 
 	// Consumed counts packets drained by the consumer, per class.
 	Consumed [message.NumClasses]int64
@@ -159,24 +171,41 @@ func (n *NIC) TotalSourceDepth() int {
 
 // Tick runs the per-cycle NIC work: drain ejection queues through the
 // consumer, then move source packets into the router injection queues.
-//
-//nocvet:phase route
+// The network steps the two halves as separate phases (all consumes,
+// then all injects) — consumption touches simulation-global state (the
+// protocol engine, the packet arena) and stays serial under sharding,
+// while injection is node-local and shards freely.
 func (n *NIC) Tick(cycle int64) {
-	if n.Stall == nil || !n.Stall(cycle) {
-		for c := range n.eject {
-			for n.eject[c].Len() > 0 {
-				head := n.eject[c].Front()
-				if !n.Consumer.TryConsume(cycle, head) {
-					break
-				}
-				n.eject[c].PopFront()
-				n.Consumed[c]++
-				if n.Recycle != nil {
-					n.Recycle(head)
-				}
+	n.TickConsume(cycle)
+	n.TickInject(cycle)
+}
+
+// TickConsume drains the ejection queues through the consumer.
+//
+//nocvet:phase consume
+func (n *NIC) TickConsume(cycle int64) {
+	if n.Stall != nil && n.Stall(cycle) {
+		return
+	}
+	for c := range n.eject {
+		for n.eject[c].Len() > 0 {
+			head := n.eject[c].Front()
+			if !n.Consumer.TryConsume(cycle, head) {
+				break
+			}
+			n.eject[c].PopFront()
+			n.Consumed[c]++
+			if n.Recycle != nil {
+				n.Recycle(head)
 			}
 		}
 	}
+}
+
+// TickInject moves source packets into the router injection queues.
+//
+//nocvet:phase route
+func (n *NIC) TickInject(cycle int64) {
 	for c := range n.source {
 		for n.source[c].Len() > 0 {
 			if !n.Inject(n.source[c].Front()) {
@@ -302,8 +331,52 @@ func (n *NIC) finish(cycle int64, pkt *message.Packet) {
 	n.eject[pkt.Class].PushBack(pkt)
 	n.wake()
 	if n.OnEject != nil {
-		n.OnEject(pkt)
+		if n.DeferEject != nil && *n.DeferEject {
+			n.deferred.PushBack(pkt)
+		} else {
+			n.OnEject(pkt)
+		}
 	}
+}
+
+// FlushEjects fires the OnEject notifications deferred while DeferEject
+// was set. The packets' observable state (EjectTime, queue position) was
+// finalised at finish time; only the callback is late, and the flush
+// happens before the cycle counter advances.
+func (n *NIC) FlushEjects() {
+	for n.deferred.Len() > 0 {
+		n.OnEject(n.deferred.PopFront())
+	}
+}
+
+// Quiescent reports an error if the NIC still holds work: packets queued
+// at the source, awaiting consumption, mid-reassembly or mid-ejection,
+// an outstanding FastPass reservation, or an undelivered deferred
+// OnEject notification. VerifyQuiescent audits every NIC with it — a
+// packet leaked into a NIC ring is as much a conservation bug as one
+// leaked into a router buffer.
+func (n *NIC) Quiescent() error {
+	for c := range n.source {
+		if l := n.source[c].Len(); l > 0 {
+			return fmt.Errorf("nic %d: %d packets still queued at source (class %d)", n.Node, l, c)
+		}
+		if l := n.eject[c].Len(); l > 0 {
+			return fmt.Errorf("nic %d: %d packets still awaiting consumption (class %d)", n.Node, l, c)
+		}
+		if l := n.reserved[c].Len(); l > 0 {
+			return fmt.Errorf("nic %d: %d ejection reservations still held (class %d)", n.Node, l, c)
+		}
+		if n.pending[c] != 0 {
+			return fmt.Errorf("nic %d: %d ejections still pending (class %d)", n.Node, n.pending[c], c)
+		}
+		if n.assembling[c] != nil {
+			return fmt.Errorf("nic %d: packet %s still mid-reassembly (class %d)", n.Node, n.assembling[c], c)
+		}
+	}
+	if l := n.deferred.Len(); l > 0 {
+		return fmt.Errorf("nic %d: %d deferred ejection notifications undelivered", n.Node, l)
+	}
+	return nil
 }
 
 // ForEachResident visits every packet the NIC currently holds: queued

@@ -89,7 +89,7 @@ func TestSweepLatencyPaddedPointsInert(t *testing.T) {
 			}
 			for name, v := range map[string]float64{
 				"AvgLatency": p.AvgLatency, "P99Latency": p.P99Latency,
-				"RegularLatency": p.RegularLatency,
+				"RegularLatency":   p.RegularLatency,
 				"FastSplitRegular": p.FastSplitRegular, "FastSplitFast": p.FastSplitFast,
 			} {
 				if !math.IsNaN(v) {

@@ -146,6 +146,12 @@ type Options struct {
 	// "off", or tuning clauses); the zero value keeps watchdogs off so
 	// existing callers are unaffected. Ignored for MinBD.
 	Watchdog string
+
+	// Shards is the intra-sim spatial shard count for Network.Step
+	// (DESIGN.md §12); 0 or 1 runs the serial loop. Results are
+	// bit-identical at any value. Ignored for MinBD (its deflection
+	// network has no sharded stepper).
+	Shards int
 }
 
 func (o *Options) setDefaults() {
@@ -235,6 +241,9 @@ func Build(o Options) *Instance {
 		inst.Deflect = minbd.New(mesh, minbd.Params{EjectCap: o.EjectCap})
 	default:
 		panic("sim: unknown scheme")
+	}
+	if inst.Net != nil && o.Shards > 1 {
+		inst.Net.SetShards(o.Shards)
 	}
 	inst.attachRobustness(o)
 	return inst

@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/message"
+	"repro/internal/traffic"
+	"repro/internal/workload"
+)
+
+// The intra-sim sharding contract (DESIGN.md §12), asserted at the
+// harness layer: -shards 1 and -shards N are bit-identical for every
+// scheme, every field of the result, traces included. These are the
+// goldens CI runs under -race — the determinism claim and the
+// data-race-freedom claim are the same claim, checked together.
+
+// TestShardEquivalenceSynthetic sweeps every VC scheme at a moderate
+// and a saturating rate and compares full result fingerprints across
+// shard counts, including a non-dividing one (16 nodes / 3 shards).
+func TestShardEquivalenceSynthetic(t *testing.T) {
+	for _, s := range Schemes() {
+		if s == MinBD {
+			continue // deflection network: no sharded stepper
+		}
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			t.Parallel()
+			for _, rate := range []float64{0.05, 0.25} {
+				cfg := SynthConfig{
+					Options: Options{
+						Scheme: s, W: 4, H: 4, Seed: 0x5AAD,
+						DrainPeriod: 2048, SwapDuty: 256,
+					},
+					Pattern: traffic.Transpose,
+					Rate:    rate,
+					Warmup:  300, Measure: 900, Drain: 600,
+				}
+				base := RunSynthetic(cfg)
+				want := resultFingerprint(base)
+				for _, k := range []int{2, 3, 4} {
+					cfg.Shards = k
+					got := resultFingerprint(RunSynthetic(cfg))
+					if got != want {
+						t.Errorf("rate %v: shards=%d diverged from serial\nserial:    %s\nshards=%d: %s",
+							rate, k, want, k, got)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardEquivalenceFaults repeats the check with the full fault
+// battery and watchdogs attached: the hashed per-(cycle, link, pulse)
+// fault rolls are what make corruption and credit loss land on the
+// same victims whatever order shards visit the dirty channels in.
+func TestShardEquivalenceFaults(t *testing.T) {
+	for _, s := range []Scheme{FastPass, EscapeVC} {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := SynthConfig{
+				Options: Options{
+					Scheme: s, W: 4, H: 4, Seed: 0xFA17,
+					Faults:   "linkfail:rate=0.002,dur=64;corrupt:rate=0.01;creditloss:rate=0.005",
+					Watchdog: "on",
+				},
+				Pattern: traffic.Uniform,
+				Rate:    0.08,
+				Warmup:  300, Measure: 900, Drain: 600,
+			}
+			base := RunSynthetic(cfg)
+			want := resultFingerprint(base)
+			if base.Created == 0 || base.CorruptedDelivered == 0 {
+				t.Fatalf("fixture injected nothing observable: %s", want)
+			}
+			for _, k := range []int{2, 4} {
+				cfg.Shards = k
+				got := resultFingerprint(RunSynthetic(cfg))
+				if got != want {
+					t.Errorf("shards=%d diverged from serial\nserial:    %s\nshards=%d: %s", k, want, k, got)
+				}
+			}
+		})
+	}
+}
+
+// TestShardEquivalenceProtocol runs coherence traffic — the protocol
+// engine's global MSHR/TBE state and its own RNG are exactly why the
+// consume phase stays serial under sharding.
+func TestShardEquivalenceProtocol(t *testing.T) {
+	app := workload.MustGet("Canneal")
+	app.WorkQuota = 250
+	for _, s := range []Scheme{FastPass, EscapeVC, SPIN} {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := AppConfig{
+				Options:   Options{Scheme: s, W: 4, H: 4, Seed: 0xBEE5, DrainPeriod: 2048, SwapDuty: 256},
+				App:       app,
+				MaxCycles: 300000,
+			}
+			want := resultFingerprint(RunApp(cfg))
+			cfg.Shards = 4
+			got := resultFingerprint(RunApp(cfg))
+			if got != want {
+				t.Errorf("shards=4 diverged from serial\nserial:   %s\nshards=4: %s", want, got)
+			}
+		})
+	}
+}
+
+// TestShardEquivalenceTraceBytes compares the rendered event trace —
+// the strictest observable: every ejection and drop, in firing order,
+// byte for byte.
+func TestShardEquivalenceTraceBytes(t *testing.T) {
+	run := func(shards int) string {
+		inst := Build(Options{
+			Scheme: FastPass, W: 4, H: 4, Seed: 0x7ACE,
+			TraceCapacity: 4096, Shards: shards,
+		})
+		gen := &traffic.Generator{Pattern: traffic.Uniform, Rate: 0.15, W: 4, H: 4}
+		rng := rand.New(rand.NewSource(0x7ACE))
+		for c := 0; c < 800; c++ {
+			for _, pkt := range gen.Tick(inst.Cycle(), rng) {
+				inst.Enqueue(pkt)
+			}
+			inst.Step()
+		}
+		var b strings.Builder
+		if err := inst.Trace.WriteText(&b); err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&b, "cycle=%d flits=%d active=%d\n",
+			inst.Net.Cycle(), inst.Net.FlitsOnLinks, inst.Net.ActiveRouterCount())
+		return b.String()
+	}
+	want := run(1)
+	if !strings.Contains(want, "eject") && len(want) < 100 {
+		t.Fatalf("trace suspiciously empty:\n%s", want)
+	}
+	for _, k := range []int{3, 4} {
+		if got := run(k); got != want {
+			t.Errorf("shards=%d trace diverged from serial (serial %d bytes, sharded %d bytes)",
+				k, len(want), len(got))
+		}
+	}
+}
+
+// TestShardsIgnoredByMinBD: requesting shards on the deflection network
+// must be a harmless no-op, not a crash.
+func TestShardsIgnoredByMinBD(t *testing.T) {
+	inst := Build(Options{Scheme: MinBD, W: 4, H: 4, Seed: 1, Shards: 4})
+	inst.Enqueue(message.NewPacket(1, 0, 15, message.Request, 1, 0))
+	for i := 0; i < 100; i++ {
+		inst.Step()
+	}
+}

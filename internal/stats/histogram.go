@@ -3,7 +3,7 @@ package stats
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -73,27 +73,24 @@ func (h Histogram) String() string {
 	return b.String()
 }
 
-// Quantiles returns the given quantiles (each in (0,1]) of the measured
-// latencies by nearest rank, NaN-filled when empty.
+// Quantiles returns the given quantiles of the measured latencies by
+// nearest rank. A quantile outside (0, 1] — or any quantile of an empty
+// collector — is NaN rather than a silently clamped sample.
 func (c *Collector) Quantiles(qs ...float64) []float64 {
 	out := make([]float64, len(qs))
+	for i := range out {
+		out[i] = math.NaN()
+	}
 	if len(c.latencies) == 0 {
-		for i := range out {
-			out[i] = math.NaN()
-		}
 		return out
 	}
 	s := append([]int64(nil), c.latencies...)
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	slices.Sort(s)
 	for i, q := range qs {
-		idx := int(math.Ceil(q*float64(len(s)))) - 1
-		if idx < 0 {
-			idx = 0
+		if math.IsNaN(q) || q <= 0 || q > 1 {
+			continue
 		}
-		if idx >= len(s) {
-			idx = len(s) - 1
-		}
-		out[i] = float64(s[idx])
+		out[i] = float64(s[int(math.Ceil(q*float64(len(s))))-1])
 	}
 	return out
 }

@@ -7,7 +7,7 @@ package stats
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/message"
 )
@@ -103,27 +103,23 @@ func (c *Collector) MeasuredCreated() int64 { return c.created }
 func (c *Collector) MeanLatency() float64 { return mean(c.latencies) }
 
 // Percentile returns the p-quantile (0 < p <= 1) of measured latencies
-// by nearest-rank, or NaN with no samples. Fig. 12 uses p = 0.99. The
+// by nearest-rank, or NaN with no samples or a p outside (0, 1] (a
+// bogus p used to clamp silently onto the min or max sample — an easy
+// way to plot garbage without noticing). Fig. 12 uses p = 0.99. The
 // sorted view is cached across calls and rebuilt only after new
 // ejections, so interleaving Percentile reads with OnEject stays
 // correct and repeated reads stay cheap.
 func (c *Collector) Percentile(p float64) float64 {
-	if len(c.latencies) == 0 {
+	if len(c.latencies) == 0 || math.IsNaN(p) || p <= 0 || p > 1 {
 		return math.NaN()
 	}
 	if c.sortedStale || len(c.sorted) != len(c.latencies) {
 		c.sorted = append(c.sorted[:0], c.latencies...)
-		sort.Slice(c.sorted, func(i, j int) bool { return c.sorted[i] < c.sorted[j] })
+		slices.Sort(c.sorted)
 		c.sortedStale = false
 	}
-	idx := int(math.Ceil(p*float64(len(c.sorted)))) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(c.sorted) {
-		idx = len(c.sorted) - 1
-	}
-	return float64(c.sorted[idx])
+	// With p in (0, 1], ceil(p*n)-1 is always a valid index.
+	return float64(c.sorted[int(math.Ceil(p*float64(len(c.sorted))))-1])
 }
 
 // Throughput is the accepted traffic in packets/node/cycle during the

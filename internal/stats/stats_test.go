@@ -178,3 +178,39 @@ func TestPercentileInterleavedWithEjects(t *testing.T) {
 		}
 	}
 }
+
+// A quantile outside (0, 1] — zero, negative, above one, or NaN — used
+// to clamp silently onto the min or max sample; it must be NaN.
+func TestInvalidQuantilesAreNaN(t *testing.T) {
+	c := New(4, 0, 100)
+	for i, lat := range []int64{10, 20, 30, 40} {
+		eject(c, uint64(i), 10, 10+lat, message.Regular, 0, 0)
+	}
+	for _, p := range []float64{0, -0.5, 1.01, math.NaN()} {
+		if got := c.Percentile(p); !math.IsNaN(got) {
+			t.Errorf("Percentile(%v) = %v, want NaN", p, got)
+		}
+	}
+	qs := c.Quantiles(0.5, 0, 1.5, math.NaN(), 1)
+	if qs[0] != 20 || qs[4] != 40 {
+		t.Errorf("valid quantiles perturbed by invalid neighbours: %v", qs)
+	}
+	for _, i := range []int{1, 2, 3} {
+		if !math.IsNaN(qs[i]) {
+			t.Errorf("Quantiles()[%d] = %v, want NaN", i, qs[i])
+		}
+	}
+	// Invalid queries must not poison the sort cache for later valid ones.
+	if got := c.Percentile(0.99); got != 40 {
+		t.Errorf("p99 after invalid queries = %v, want 40", got)
+	}
+}
+
+func TestEmptyQuantilesAllNaN(t *testing.T) {
+	c := New(4, 0, 100)
+	for i, q := range c.Quantiles(0.5, 0.99, 1) {
+		if !math.IsNaN(q) {
+			t.Errorf("empty Quantiles()[%d] = %v, want NaN", i, q)
+		}
+	}
+}
