@@ -6,6 +6,13 @@
 //	nocsim -scheme FastPass -pattern Uniform -rate 0.05 -size 8 -vcs 4
 //	nocsim -scheme EscapeVC -app Canneal -size 8
 //	nocsim -scheme FastPass -faults 'linkfail:rate=1e-4,dur=64;corrupt:rate=1e-5' -rate 0.05
+//	nocsim -scheme FastPass -rate 0.05 -checkpoint run.ckpt -checkpoint-every 2000
+//	nocsim -restore run.ckpt
+//
+// A checkpointed synthetic run can be resumed with -restore; the
+// continuation is bit-identical to the uninterrupted run (stats, trace
+// and fault outcomes included), even in a fresh process or at a
+// different -shards count.
 //
 // Exit codes: 0 clean, 2 saturated or timed out, 3 invariant watchdog
 // abort (the structured deadlock/starvation report goes to stderr).
@@ -38,7 +45,22 @@ func main() {
 	faultScale := flag.Float64("faultscale", 1, "multiplier applied to every rate in the fault plan")
 	watchdog := flag.String("watchdog", "on", "invariant watchdogs: on, off, or 'stride=..,deadlock=..,starve=..,leak=..'")
 	shards := flag.Int("shards", 1, "spatial shards stepping the mesh in parallel (bit-identical to 1; ignored by MinBD)")
+	checkpointPath := flag.String("checkpoint", "", "write the full simulator state to this file every -checkpoint-every cycles (synthetic runs only)")
+	checkpointEvery := flag.Int64("checkpoint-every", 0, "cycles between checkpoints (requires -checkpoint)")
+	restorePath := flag.String("restore", "", "resume a synthetic run from a checkpoint file; run parameters come from the checkpoint (only -shards, -checkpoint and -checkpoint-every apply on top)")
 	flag.Parse()
+
+	if (*checkpointPath == "") != (*checkpointEvery == 0) {
+		log.Fatal("-checkpoint and -checkpoint-every must be set together")
+	}
+	if *checkpointEvery < 0 {
+		log.Fatalf("-checkpoint-every %d must be positive", *checkpointEvery)
+	}
+
+	if *restorePath != "" {
+		runRestored(*restorePath, *shards, *checkpointPath, *checkpointEvery)
+		return
+	}
 
 	scheme, err := noc.ParseScheme(*schemeName)
 	if err != nil {
@@ -50,8 +72,8 @@ func main() {
 	if _, _, err := noc.ParseWatchdogSpec(*watchdog); err != nil {
 		log.Fatal(err)
 	}
-	if *shards < 1 {
-		log.Fatalf("-shards %d must be at least 1", *shards)
+	if err := noc.ValidateShards(*shards, (*size)*(*size)); err != nil {
+		log.Fatal(err)
 	}
 	opts := noc.Options{
 		Scheme: scheme, W: *size, H: *size, VCs: *vcs, Seed: *seed, DrainPeriod: 8192,
@@ -64,6 +86,9 @@ func main() {
 	}
 
 	if *app != "" {
+		if *checkpointEvery > 0 {
+			log.Fatal("-checkpoint only applies to synthetic runs")
+		}
 		runApp(opts, *app)
 		return
 	}
@@ -79,22 +104,78 @@ func main() {
 	if !found {
 		log.Fatalf("unknown pattern %q", *patternName)
 	}
-	res := noc.RunSynthetic(noc.SynthConfig{
+	cfg := noc.SynthConfig{
 		Options: opts, Pattern: pattern, Rate: *rate,
 		Warmup: *warmup, Measure: *measure, Drain: *drain,
-	})
+		CheckpointEvery: *checkpointEvery,
+		OnCheckpoint:    checkpointWriter(*checkpointPath),
+	}
+	printSynth(noc.RunSynthetic(cfg), cfg.Faults != "")
+}
+
+// checkpointWriter returns the OnCheckpoint hook: each checkpoint
+// atomically replaces the file (write-then-rename), so a crash mid-write
+// never leaves a torn blob behind.
+func checkpointWriter(path string) func(int64, []byte) {
+	if path == "" {
+		return nil
+	}
+	return func(cycle int64, blob []byte) {
+		tmp := path + ".tmp"
+		if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+			log.Fatalf("checkpoint at cycle %d: %v", cycle, err)
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			log.Fatalf("checkpoint at cycle %d: %v", cycle, err)
+		}
+	}
+}
+
+// runRestored resumes a synthetic run from a checkpoint file. The
+// embedded config supplies the run parameters; -shards (when explicitly
+// passed) and the checkpoint flags are the only overrides.
+func runRestored(path string, shards int, checkpointPath string, checkpointEvery int64) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg, err := noc.OpenCheckpoint(blob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	shardsSet := false
+	flag.Visit(func(f *flag.Flag) { shardsSet = shardsSet || f.Name == "shards" })
+	if shardsSet {
+		if err := noc.ValidateShards(shards, cfg.W*cfg.H); err != nil {
+			log.Fatal(err)
+		}
+		cfg.Shards = shards
+	}
+	cfg.CheckpointEvery = checkpointEvery
+	cfg.OnCheckpoint = checkpointWriter(checkpointPath)
+	res, err := noc.ResumeSynthetic(cfg, blob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printSynth(res, cfg.Faults != "")
+}
+
+// printSynth renders a synthetic result and exits nonzero for aborted
+// or saturated runs. hadFaults gates the fault-accounting section (the
+// run's Options.Faults spec was non-empty).
+func printSynth(res noc.SynthResult, hadFaults bool) {
 	fmt.Printf("scheme          %v\n", res.Scheme)
 	fmt.Printf("pattern         %v @ %.3f pkts/node/cycle\n", res.Pattern, res.Rate)
 	fmt.Printf("avg latency     %.2f cycles\n", res.AvgLatency)
 	fmt.Printf("p99 latency     %.0f cycles\n", res.P99Latency)
 	fmt.Printf("throughput      %.4f pkts/node/cycle (%.4f flits)\n", res.Throughput, res.FlitThroughput)
 	fmt.Printf("delivered       %.1f%% of measured packets (%d samples)\n", 100*res.DeliveredFrac, res.Samples)
-	if scheme == noc.FastPass {
+	if res.Scheme == noc.FastPass {
 		fmt.Printf("breakdown       regular %.3f / fastpass %.3f / dropped %.4f\n",
 			res.RegularFrac, res.FastFrac, res.DroppedFrac)
 		fmt.Printf("promotions      %d (drops %d)\n", res.Promoted, res.Drops)
 	}
-	if *faultSpec != "" {
+	if hadFaults {
 		fmt.Printf("fault totals    %d link fails, %d port stalls, %d consumer stalls, %d credits lost\n",
 			res.Faults.LinkFails, res.Faults.PortStalls, res.Faults.ConsumerStalls, res.Faults.CreditsLost)
 		fmt.Printf("corruption      %d flits corrupted, %d detected at delivery, %d packets flagged\n",
@@ -107,7 +188,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, res.AbortReport)
 		os.Exit(3)
 	}
-	if res.Stranded > 0 && *faultSpec == "" {
+	if res.Stranded > 0 && !hadFaults {
 		// Near saturation a finite drain window legitimately leaves a
 		// backlog, so this is informational; actual packet loss is the
 		// conservation watchdog's job and aborts above.

@@ -66,8 +66,8 @@ func main() {
 		log.Fatal(err)
 	}
 	cfg.faults, cfg.faultScale, cfg.watchdog = *faultSpec, *faultScale, *watchdog
-	if *shards < 1 {
-		log.Fatalf("-shards %d must be at least 1", *shards)
+	if err := noc.ValidateShards(*shards, (*size)*(*size)); err != nil {
+		log.Fatal(err)
 	}
 	cfg.shards = *shards
 

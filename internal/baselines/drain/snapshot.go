@@ -1,0 +1,27 @@
+package drain
+
+import "repro/internal/snapshot"
+
+// SnapshotState encodes DRAIN's mutable state: whether a drain window
+// is active plus the activity counters. The serpentine order is a pure
+// function of the mesh; rotation victims are per-cycle scratch.
+func (c *Controller) SnapshotState(w *snapshot.Writer) {
+	w.Bool(c.Draining)
+	w.I64(c.Rotations)
+	w.I64(c.Windows)
+}
+
+// RestoreState decodes into a freshly attached controller.
+func (c *Controller) RestoreState(r *snapshot.Reader) {
+	c.Draining = r.Bool()
+	c.Rotations = r.I64()
+	c.Windows = r.I64()
+}
+
+func init() {
+	snapshot.Register("drain.Controller", Controller{},
+		[]string{"Draining", "Rotations", "Windows"},
+		[]string{"prm", "order", "victims", "occupied", "Trace"})
+}
+
+var _ snapshot.Stater = (*Controller)(nil)

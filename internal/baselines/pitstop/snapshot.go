@@ -1,0 +1,38 @@
+package pitstop
+
+import "repro/internal/snapshot"
+
+// SnapshotState encodes Pitstop's mutable state: the per-node pit
+// contents (packet references, in absorption order) and the activity
+// counters.
+func (c *Controller) SnapshotState(w *snapshot.Writer) {
+	for _, pit := range c.pits {
+		w.Int(len(pit))
+		for _, p := range pit {
+			w.Packet(p)
+		}
+	}
+	w.I64(c.Absorbed)
+	w.I64(c.Reinjected)
+}
+
+// RestoreState decodes into a freshly attached controller.
+func (c *Controller) RestoreState(r *snapshot.Reader) {
+	for node := range c.pits {
+		n := r.Int()
+		c.pits[node] = c.pits[node][:0]
+		for i := 0; i < n && r.Err() == nil; i++ {
+			c.pits[node] = append(c.pits[node], r.Packet())
+		}
+	}
+	c.Absorbed = r.I64()
+	c.Reinjected = r.I64()
+}
+
+func init() {
+	snapshot.Register("pitstop.Controller", Controller{},
+		[]string{"pits", "Absorbed", "Reinjected"},
+		[]string{"prm", "Trace"})
+}
+
+var _ snapshot.Stater = (*Controller)(nil)

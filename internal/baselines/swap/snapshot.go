@@ -1,0 +1,27 @@
+package swap
+
+import "repro/internal/snapshot"
+
+// SnapshotState encodes SWAP's mutable state — the activity counters
+// are all of it: swap decisions are recomputed from live buffer state
+// every cycle.
+func (c *Controller) SnapshotState(w *snapshot.Writer) {
+	w.I64(c.Swaps)
+	w.I64(c.Moves)
+	w.I64(c.Misroutes)
+}
+
+// RestoreState decodes into a freshly attached controller.
+func (c *Controller) RestoreState(r *snapshot.Reader) {
+	c.Swaps = r.I64()
+	c.Moves = r.I64()
+	c.Misroutes = r.I64()
+}
+
+func init() {
+	snapshot.Register("swap.Controller", Controller{},
+		[]string{"Swaps", "Moves", "Misroutes"},
+		[]string{"prm", "Trace"})
+}
+
+var _ snapshot.Stater = (*Controller)(nil)

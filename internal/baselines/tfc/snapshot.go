@@ -1,0 +1,24 @@
+package tfc
+
+import "repro/internal/snapshot"
+
+// SnapshotState encodes TFC's mutable state — only the counters: token
+// rotation is a pure function of the cycle number.
+func (c *Controller) SnapshotState(w *snapshot.Writer) {
+	w.I64(c.Bypasses)
+	w.I64(c.TokenMisses)
+}
+
+// RestoreState decodes into a freshly attached controller.
+func (c *Controller) RestoreState(r *snapshot.Reader) {
+	c.Bypasses = r.I64()
+	c.TokenMisses = r.I64()
+}
+
+func init() {
+	snapshot.Register("tfc.Controller", Controller{},
+		[]string{"Bypasses", "TokenMisses"},
+		[]string{"prm"})
+}
+
+var _ snapshot.Stater = (*Controller)(nil)

@@ -1,0 +1,115 @@
+package fastpass
+
+import "repro/internal/snapshot"
+
+// SnapshotState encodes the controller's mutable state: per-column
+// flights (paths as link IDs — pointers into the mesh's link table are
+// re-resolved on restore), lane cooldowns, scan cursors, the
+// regeneration queue and the activity counters.
+func (c *Controller) SnapshotState(w *snapshot.Writer) {
+	for col := range c.flights {
+		f := c.flights[col]
+		w.Bool(f != nil)
+		if f == nil {
+			continue
+		}
+		w.Int(f.prime)
+		w.Packet(f.pkt)
+		w.Int(f.state)
+		w.Int(len(f.path))
+		for _, l := range f.path {
+			w.Int(l.ID)
+		}
+		w.I64(f.start)
+		w.Bool(f.rejected)
+		w.Bool(f.holder)
+	}
+	for _, v := range c.laneCool {
+		w.I64(v)
+	}
+	for _, v := range c.scanPtr {
+		w.Int(v)
+	}
+	w.Int(len(c.regenQ))
+	for _, e := range c.regenQ {
+		w.Packet(e.pkt)
+		w.I64(e.readyAt)
+	}
+	w.I64(c.Counters.Promoted)
+	w.I64(c.Counters.FastEjects)
+	w.I64(c.Counters.Rejections)
+	w.I64(c.Counters.Parked)
+	w.I64(c.Counters.Drops)
+	w.I64(c.Counters.Regens)
+}
+
+// RestoreState decodes into a freshly attached controller.
+func (c *Controller) RestoreState(r *snapshot.Reader) {
+	links := c.mesh.Links()
+	for col := range c.flights {
+		if !r.Bool() {
+			c.flights[col] = nil
+			continue
+		}
+		f := &c.flightSlots[col]
+		prime := r.Int()
+		pkt := r.Packet()
+		state := r.Int()
+		path := f.path[:0]
+		n := r.Int()
+		for i := 0; i < n && r.Err() == nil; i++ {
+			id := r.Int()
+			if id < 0 || id >= len(links) {
+				r.Fail("flight path link %d outside topology (%d links)", id, len(links))
+				return
+			}
+			path = append(path, &links[id])
+		}
+		*f = flight{
+			col: col, prime: prime, pkt: pkt, state: state, path: path,
+			start: r.I64(), rejected: r.Bool(), holder: r.Bool(),
+		}
+		c.flights[col] = f
+	}
+	for i := range c.laneCool {
+		c.laneCool[i] = r.I64()
+	}
+	for i := range c.scanPtr {
+		c.scanPtr[i] = r.Int()
+	}
+	n := r.Int()
+	c.regenQ = c.regenQ[:0]
+	for i := 0; i < n && r.Err() == nil; i++ {
+		c.regenQ = append(c.regenQ, regenEntry{pkt: r.Packet(), readyAt: r.I64()})
+	}
+	c.Counters.Promoted = r.I64()
+	c.Counters.FastEjects = r.I64()
+	c.Counters.Rejections = r.I64()
+	c.Counters.Parked = r.I64()
+	c.Counters.Drops = r.I64()
+	c.Counters.Regens = r.I64()
+}
+
+func init() {
+	snapshot.Register("fastpass.Controller", Controller{},
+		[]string{"flights", "flightSlots", "laneCool", "scanPtr", "regenQ", "Counters"},
+		[]string{
+			// Wiring and configuration from Attach.
+			"net", "mesh", "sched", "prm", "OnDrop", "Trace",
+			// Per-PreCycle scratch, rewritten before every read.
+			"scanBuf",
+		})
+	snapshot.Register("fastpass.flight", flight{},
+		[]string{"col", "prime", "pkt", "state", "path", "start", "rejected", "holder"},
+		nil)
+	snapshot.Register("fastpass.regenEntry", regenEntry{},
+		[]string{"pkt", "readyAt"},
+		nil)
+	snapshot.Register("fastpass.Counters", Counters{},
+		[]string{"Promoted", "FastEjects", "Rejections", "Parked", "Drops", "Regens"},
+		nil)
+}
+
+// interface check: the network dispatches controller state through the
+// Stater assertion.
+var _ snapshot.Stater = (*Controller)(nil)

@@ -33,6 +33,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/snapshot"
 )
 
 // EventKind identifies a targeted one-shot fault.
@@ -335,6 +337,10 @@ type Counters struct {
 type Injector struct {
 	plan Plan
 	rng  *rand.Rand
+	// src is rng's underlying counting source: the category rolls in
+	// BeginCycle consume a victim-dependent number of draws, so the
+	// stream position (not a cycle count) is what a checkpoint records.
+	src *snapshot.CountingSource
 
 	// hashKey salts the order-invariant per-event draws (RollCorrupt,
 	// RollCreditLoss, CorruptWord); derived from the same (plan, sim)
@@ -365,9 +371,11 @@ func NewInjector(plan Plan, numLinks, numNodes, numPorts int, seed int64) *Injec
 	if numLinks < 1 || numNodes < 1 || numPorts < 2 {
 		panic(fmt.Sprintf("faults: degenerate topology (%d links, %d nodes, %d ports)", numLinks, numNodes, numPorts))
 	}
+	src := snapshot.NewCountingSource(plan.Seed ^ (seed+1)*0x5deece66d)
 	j := &Injector{
 		plan:               plan,
-		rng:                rand.New(rand.NewSource(plan.Seed ^ (seed+1)*0x5deece66d)),
+		rng:                rand.New(src),
+		src:                src,
 		hashKey:            splitmix64(uint64(plan.Seed) ^ uint64(seed+1)*0x5deece66d),
 		numLinks:           numLinks,
 		numNodes:           numNodes,

@@ -6,27 +6,32 @@ import (
 	"strings"
 )
 
-// Wallclock bans package time outright in the fault-injection and
-// invariant-watchdog packages. DetRand already stops the obvious clock
-// reads everywhere under internal/; this rule is stricter because these
-// two packages sit inside the determinism proof itself: the fault
-// schedule and every watchdog bound must be expressed in simulated
-// cycles, and even a stray time.Duration is a wall-clock-shaped knob
-// that invites somebody to wire it to the host. If a run wedges, the
-// watchdog must trip at the same cycle on every machine and at every
-// -j, or the deadlock golden tests mean nothing.
+// Wallclock bans package time outright in the fault-injection,
+// invariant-watchdog and snapshot packages. DetRand already stops the
+// obvious clock reads everywhere under internal/; this rule is stricter
+// because these packages sit inside the determinism proof itself: the
+// fault schedule and every watchdog bound must be expressed in
+// simulated cycles, and even a stray time.Duration is a
+// wall-clock-shaped knob that invites somebody to wire it to the host.
+// If a run wedges, the watchdog must trip at the same cycle on every
+// machine and at every -j, or the deadlock golden tests mean nothing.
+// The snapshot codec is held to the same bar: a checkpoint is replayed
+// byte-for-byte, so a wall-clock timestamp anywhere in the format would
+// make blobs differ across machines for identical simulator state.
 type Wallclock struct{}
 
 func (Wallclock) Name() string { return "wallclock" }
 func (Wallclock) Doc() string {
-	return "forbid any reference to package time in internal/{faults,invariant}"
+	return "forbid any reference to package time in internal/{faults,invariant,snapshot}"
 }
 
-// wallclockScoped limits the rule to the two cycle-driven packages (and
-// the lint fixture, which loads itself by directory).
+// wallclockScoped limits the rule to the cycle-driven packages and the
+// checkpoint codec (and the lint fixture, which loads itself by
+// directory).
 func wallclockScoped(path string) bool {
 	return strings.HasSuffix(path, "/internal/faults") ||
 		strings.HasSuffix(path, "/internal/invariant") ||
+		strings.HasSuffix(path, "/internal/snapshot") ||
 		strings.HasSuffix(path, "/testdata/src/wallclock")
 }
 

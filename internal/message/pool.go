@@ -87,3 +87,19 @@ func (pl *Pool) PutCtx(p *Packet, owner int, cycle int64) {
 
 // FreeLen reports the current free-list depth (diagnostics).
 func (pl *Pool) FreeLen() int { return len(pl.free) }
+
+// FreeList exposes the free list in release order for checkpointing.
+// Callers must not mutate the returned slice or the packets it holds.
+func (pl *Pool) FreeList() []*Packet { return pl.free }
+
+// SetFreeList replaces the free list with ps (restore path), re-arming
+// the recycled poison marker on every pooled packet so the
+// use-after-free guard holds across a checkpoint/restore boundary.
+// Restored packets must otherwise be blank, exactly as Put left them;
+// the next Get verifies that as usual.
+func (pl *Pool) SetFreeList(ps []*Packet) {
+	pl.free = append(pl.free[:0], ps...)
+	for _, p := range pl.free {
+		p.recycled = true
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/message"
 	"repro/internal/nic"
 	"repro/internal/router"
+	"repro/internal/snapshot"
 	"repro/internal/topology"
 )
 
@@ -132,8 +133,11 @@ type Network struct {
 	// from it (NodeRand). A single shared generator would make draw
 	// interleaving depend on evaluation order — and therefore on the
 	// shard count — so there deliberately is no Network-wide stream.
+	// Each stream draws through a counting source (nodeSrc) so a
+	// checkpoint can record its position and restore by replay.
 	seed     int64
 	nodeRand []*rand.Rand
+	nodeSrc  []*snapshot.CountingSource
 
 	// deferEject is true while the sharded router phase runs: NIC
 	// ejection observers (OnEject) buffer per NIC instead of firing
@@ -180,6 +184,7 @@ func New(p Params) *Network {
 	n.chDirty = make([]bool, len(links))
 	n.shardOf = make([]int32, p.Mesh.NumNodes())
 	n.nodeRand = make([]*rand.Rand, p.Mesh.NumNodes())
+	n.nodeSrc = make([]*snapshot.CountingSource, p.Mesh.NumNodes())
 	n.SetShards(1)
 	for id := 0; id < p.Mesh.NumNodes(); id++ {
 		n.Routers = append(n.Routers, router.New(id, p.Mesh, p.Router, n))
@@ -204,7 +209,8 @@ func New(p Params) *Network {
 func (n *Network) NodeRand(node int) *rand.Rand {
 	if n.nodeRand[node] == nil {
 		s := splitmix64(uint64(n.seed) + (uint64(node)+1)*0x9e3779b97f4a7c15)
-		n.nodeRand[node] = rand.New(rand.NewSource(int64(s)))
+		n.nodeSrc[node] = snapshot.NewCountingSource(int64(s))
+		n.nodeRand[node] = rand.New(n.nodeSrc[node])
 	}
 	return n.nodeRand[node]
 }

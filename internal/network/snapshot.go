@@ -1,0 +1,230 @@
+package network
+
+import "repro/internal/snapshot"
+
+// Snapshots are taken between Steps, at a cycle boundary. The engine
+// guarantees a set of invariants there that shrink the state surface:
+// every channel's next stage is invalid and its credit pipe drained
+// only after shift ran — but shift runs inside Step, so both hold;
+// shard dirty queues and flit accumulators are empty/zero; deferEject
+// is false; no active-set iteration is running (cur == -1). Those
+// fields are transient in the manifest. Claims from the previous cycle
+// are still set (beginCycle clears them at the top of the next Step),
+// so they are encoded even though nothing will read them before the
+// clear — encoding exact state is cheaper than proving it dead.
+//
+// Restore targets a freshly built Network with identical construction
+// parameters: wiring, topology and closures come from Build; only
+// mutable state is decoded. Active-set membership is encoded as the
+// global sorted ID lists and re-inserted through the wake routing, so
+// a checkpoint taken at one shard count restores correctly at any
+// other.
+
+func writeTransit(w *snapshot.Writer, t *transit) {
+	w.Bool(t.valid)
+	if !t.valid {
+		return
+	}
+	w.Packet(t.flit.Pkt)
+	w.Int(t.flit.Seq)
+	w.Int(t.vc)
+	w.U64(t.payload)
+	w.U8(t.sum)
+}
+
+func readTransit(r *snapshot.Reader, t *transit) {
+	*t = transit{}
+	t.valid = r.Bool()
+	if !t.valid {
+		return
+	}
+	t.flit.Pkt = r.Packet()
+	t.flit.Seq = r.Int()
+	t.vc = r.Int()
+	t.payload = r.U64()
+	t.sum = r.U8()
+}
+
+// SnapshotState encodes the network and everything it owns: cycle
+// engine state, channels, claims, per-node RNG cursors, NICs, routers,
+// the attached controller (when it carries state) and the fault
+// injector (when attached).
+func (n *Network) SnapshotState(w *snapshot.Writer) {
+	w.I64(n.cycle)
+	w.I64(n.FlitsOnLinks)
+	for _, ch := range n.channels {
+		writeTransit(w, &ch.cur)
+		writeTransit(w, &ch.next)
+		w.Int(len(ch.creditNext))
+		for _, vc := range ch.creditNext {
+			w.Int(vc)
+		}
+	}
+	w.Int(len(n.claimedLinks))
+	for _, id := range n.claimedLinks {
+		w.Int(id)
+	}
+	w.Int(len(n.claimedEjects))
+	for _, id := range n.claimedEjects {
+		w.Int(id)
+	}
+	w.Int(len(n.dirtyChannels))
+	for _, id := range n.dirtyChannels {
+		w.Int(id)
+	}
+	// Active sets: shards hold contiguous node ranges in order, so
+	// concatenating their sorted member lists yields the global sorted
+	// membership.
+	actR, actN := 0, 0
+	for _, sh := range n.shards {
+		actR += len(sh.activeRouters.ids)
+		actN += len(sh.activeNICs.ids)
+	}
+	w.Int(actR)
+	for _, sh := range n.shards {
+		for _, id := range sh.activeRouters.ids {
+			w.Int(id)
+		}
+	}
+	w.Int(actN)
+	for _, sh := range n.shards {
+		for _, id := range sh.activeNICs.ids {
+			w.Int(id)
+		}
+	}
+	for node := range n.nodeRand {
+		created := n.nodeRand[node] != nil
+		w.Bool(created)
+		if created {
+			w.U64(n.nodeSrc[node].Draws())
+		}
+	}
+	for _, nc := range n.NICs {
+		nc.SnapshotState(w)
+	}
+	for _, rt := range n.Routers {
+		rt.SnapshotState(w)
+	}
+	if st, ok := n.Controller.(snapshot.Stater); ok {
+		w.Bool(true)
+		st.SnapshotState(w)
+	} else {
+		w.Bool(false)
+	}
+	if n.faults != nil {
+		w.Bool(true)
+		n.faults.SnapshotState(w)
+	} else {
+		w.Bool(false)
+	}
+}
+
+// RestoreState decodes into a freshly built Network (same Params, same
+// attached controller type, fault injector already attached when the
+// checkpoint carried one).
+func (n *Network) RestoreState(r *snapshot.Reader) {
+	n.cycle = r.I64()
+	n.FlitsOnLinks = r.I64()
+	for _, ch := range n.channels {
+		readTransit(r, &ch.cur)
+		readTransit(r, &ch.next)
+		k := r.Int()
+		ch.creditNext = ch.creditNext[:0]
+		for i := 0; i < k && r.Err() == nil; i++ {
+			ch.creditNext = append(ch.creditNext, r.Int())
+		}
+	}
+	k := r.Int()
+	n.claimedLinks = n.claimedLinks[:0]
+	for i := 0; i < k && r.Err() == nil; i++ {
+		id := r.Int()
+		n.linkClaims[id] = true
+		n.claimedLinks = append(n.claimedLinks, id)
+	}
+	k = r.Int()
+	n.claimedEjects = n.claimedEjects[:0]
+	for i := 0; i < k && r.Err() == nil; i++ {
+		id := r.Int()
+		n.ejectClaims[id] = true
+		n.claimedEjects = append(n.claimedEjects, id)
+	}
+	k = r.Int()
+	for i := 0; i < k && r.Err() == nil; i++ {
+		n.markChannel(r.Int())
+	}
+	k = r.Int()
+	for i := 0; i < k && r.Err() == nil; i++ {
+		n.wakeRouter(r.Int())
+	}
+	k = r.Int()
+	for i := 0; i < k && r.Err() == nil; i++ {
+		n.wakeNIC(r.Int())
+	}
+	for node := range n.nodeRand {
+		if !r.Bool() {
+			continue
+		}
+		draws := r.U64()
+		n.NodeRand(node)
+		n.nodeSrc[node].Skip(draws)
+	}
+	for _, nc := range n.NICs {
+		nc.RestoreState(r)
+	}
+	for _, rt := range n.Routers {
+		rt.RestoreState(r)
+	}
+	if r.Bool() {
+		st, ok := n.Controller.(snapshot.Stater)
+		if !ok {
+			r.Fail("checkpoint carries controller state but controller %q has none", n.Controller.Name())
+			return
+		}
+		st.RestoreState(r)
+	}
+	if r.Bool() {
+		if n.faults == nil {
+			r.Fail("checkpoint carries fault-injector state but none is attached")
+			return
+		}
+		n.faults.RestoreState(r)
+	}
+}
+
+func init() {
+	snapshot.Register("network.Network", Network{},
+		[]string{
+			"cycle", "FlitsOnLinks", "channels",
+			"linkClaims", "claimedLinks", "ejectClaims", "claimedEjects",
+			"dirtyChannels", "chDirty",
+			"shards", // active-set membership; scratch queues are empty at the boundary
+			"nodeRand", "nodeSrc",
+			"NICs", "Routers", "Controller", "faults",
+		},
+		[]string{
+			// Construction-time wiring and configuration.
+			"Mesh", "shardOf", "seed", "Probe",
+			// Barrier plumbing, quiescent between Steps.
+			"wg", "shardPanics",
+			// False at every cycle boundary (flipped only around the
+			// sharded router phase inside Step).
+			"deferEject",
+		})
+	snapshot.Register("network.channel", channel{},
+		[]string{"cur", "next", "creditNext"},
+		[]string{"link"})
+	snapshot.Register("network.transit", transit{},
+		[]string{"flit", "vc", "valid", "payload", "sum"},
+		nil)
+	snapshot.Register("network.shardState", shardState{},
+		[]string{"activeRouters", "activeNICs"},
+		[]string{
+			"lo", "hi", "env",
+			// Drained into the global lists at every merge barrier;
+			// provably empty between Steps.
+			"dirty", "dirtySeen", "flits",
+		})
+	snapshot.Register("network.activeSet", activeSet{},
+		[]string{"in", "ids"},
+		[]string{"cur"}) // -1 between Steps; only live mid-iteration
+}

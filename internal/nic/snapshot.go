@@ -1,0 +1,51 @@
+package nic
+
+import "repro/internal/snapshot"
+
+// SnapshotState encodes the NIC's mutable state. Snapshots are taken at
+// cycle boundaries, where the deferred OnEject ring is provably empty
+// (FlushEjects runs before Step returns), so it is transient. Wiring
+// (Inject, Consumer, Stall, ...) is re-established by the builder.
+func (n *NIC) SnapshotState(w *snapshot.Writer) {
+	w.I64(n.Enqueued)
+	for c := range n.source {
+		snapshot.WriteRing(w, &n.source[c], (*snapshot.Writer).Packet)
+		snapshot.WriteRing(w, &n.eject[c], (*snapshot.Writer).Packet)
+		snapshot.WriteRing(w, &n.reserved[c], (*snapshot.Writer).U64)
+		w.Int(n.pending[c])
+		w.Packet(n.assembling[c])
+		w.Int(n.assembledFlits[c])
+		w.I64(n.Consumed[c])
+	}
+}
+
+// RestoreState decodes into a freshly built NIC.
+func (n *NIC) RestoreState(r *snapshot.Reader) {
+	n.Enqueued = r.I64()
+	for c := range n.source {
+		snapshot.ReadRing(r, &n.source[c], (*snapshot.Reader).Packet)
+		snapshot.ReadRing(r, &n.eject[c], (*snapshot.Reader).Packet)
+		snapshot.ReadRing(r, &n.reserved[c], (*snapshot.Reader).U64)
+		n.pending[c] = r.Int()
+		n.assembling[c] = r.Packet()
+		n.assembledFlits[c] = r.Int()
+		n.Consumed[c] = r.I64()
+	}
+	n.deferred.Clear()
+}
+
+func init() {
+	snapshot.Register("nic.NIC", NIC{},
+		[]string{
+			"Enqueued", "source", "eject", "reserved", "pending",
+			"assembling", "assembledFlits", "Consumed",
+		},
+		[]string{
+			// Configuration and wiring from New/the network builder.
+			"Node", "EjectCap", "Inject", "OnEject", "DeferEject",
+			"Recycle", "OnActive", "Consumer", "Stall",
+			// Empty at every cycle boundary: FlushEjects drains it
+			// before Step returns.
+			"deferred",
+		})
+}

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/message"
 	"repro/internal/nic"
+	"repro/internal/snapshot"
 )
 
 // Profile parameterises the traffic a workload produces. The named
@@ -114,6 +115,10 @@ type Engine struct {
 	be      Backend
 	profile Profile
 	rng     *rand.Rand
+	// src counts RNG draws so a checkpoint can record the stream
+	// position (issue rolls and owner rejection loops consume a
+	// state-dependent number of draws).
+	src *snapshot.CountingSource
 
 	nextPktID uint64
 	nextTxnID uint64
@@ -134,10 +139,12 @@ type Engine struct {
 // consumer.
 func New(be Backend, profile Profile, seed int64) *Engine {
 	profile.SetDefaults()
+	src := snapshot.NewCountingSource(seed)
 	e := &Engine{
 		be:        be,
 		profile:   profile,
-		rng:       rand.New(rand.NewSource(seed)),
+		rng:       rand.New(src),
+		src:       src,
 		coreMSHRs: make([]map[uint64]*txn, be.Nodes()),
 		homeTBEs:  make([]map[uint64]*homeEntry, be.Nodes()),
 	}

@@ -1,0 +1,110 @@
+package protocol
+
+import (
+	"sort"
+
+	"repro/internal/snapshot"
+)
+
+func sortedKeys[V any](m map[uint64]V) []uint64 {
+	ks := make([]uint64, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}
+
+// SnapshotState encodes the engine's mutable state: RNG stream
+// position, ID counters, per-core MSHR tables and per-home TBE tables
+// (sorted by transaction ID — map iteration order must not leak into
+// the byte stream), the delayed-emission queue and the transaction
+// counters.
+func (e *Engine) SnapshotState(w *snapshot.Writer) {
+	w.U64(e.src.Draws())
+	w.U64(e.nextPktID)
+	w.U64(e.nextTxnID)
+	for _, m := range e.coreMSHRs {
+		ids := sortedKeys(m)
+		w.Int(len(ids))
+		for _, id := range ids {
+			t := m[id]
+			w.U64(t.id)
+			w.Int(t.core)
+			w.Int(t.home)
+			w.Int(t.acksLeft)
+			w.Bool(t.dataSeen)
+		}
+	}
+	for _, m := range e.homeTBEs {
+		ids := sortedKeys(m)
+		w.Int(len(ids))
+		for _, id := range ids {
+			h := m[id]
+			w.U64(h.txnID)
+			w.Int(h.core)
+		}
+	}
+	w.Int(len(e.emitQ))
+	for _, d := range e.emitQ {
+		w.Packet(d.pkt)
+		w.I64(d.at)
+	}
+	w.I64(e.Issued)
+	w.I64(e.Completed)
+	w.I64(e.Stalled)
+}
+
+// RestoreState decodes into a freshly constructed engine (wiring and
+// consumers from New, mutable state from the checkpoint). The RNG is
+// re-positioned by replaying the recorded number of source draws.
+func (e *Engine) RestoreState(r *snapshot.Reader) {
+	e.src.Skip(r.U64())
+	e.nextPktID = r.U64()
+	e.nextTxnID = r.U64()
+	for core := range e.coreMSHRs {
+		clear(e.coreMSHRs[core])
+		k := r.Int()
+		for i := 0; i < k && r.Err() == nil; i++ {
+			t := &txn{
+				id:       r.U64(),
+				core:     r.Int(),
+				home:     r.Int(),
+				acksLeft: r.Int(),
+				dataSeen: r.Bool(),
+			}
+			e.coreMSHRs[core][t.id] = t
+		}
+	}
+	for home := range e.homeTBEs {
+		clear(e.homeTBEs[home])
+		k := r.Int()
+		for i := 0; i < k && r.Err() == nil; i++ {
+			h := &homeEntry{txnID: r.U64(), core: r.Int()}
+			e.homeTBEs[home][h.txnID] = h
+		}
+	}
+	e.emitQ = e.emitQ[:0]
+	k := r.Int()
+	for i := 0; i < k && r.Err() == nil; i++ {
+		e.emitQ = append(e.emitQ, delayed{pkt: r.Packet(), at: r.I64()})
+	}
+	e.Issued = r.I64()
+	e.Completed = r.I64()
+	e.Stalled = r.I64()
+}
+
+func init() {
+	snapshot.Register("protocol.Engine", Engine{},
+		[]string{"src", "nextPktID", "nextTxnID", "coreMSHRs", "homeTBEs",
+			"emitQ", "Issued", "Completed", "Stalled"},
+		[]string{"be", "profile", "rng"})
+	snapshot.Register("protocol.txn", txn{},
+		[]string{"id", "core", "home", "acksLeft", "dataSeen"}, nil)
+	snapshot.Register("protocol.homeEntry", homeEntry{},
+		[]string{"txnID", "core"}, nil)
+	snapshot.Register("protocol.delayed", delayed{},
+		[]string{"pkt", "at"}, nil)
+}
+
+var _ snapshot.Stater = (*Engine)(nil)

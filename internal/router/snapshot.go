@@ -1,0 +1,130 @@
+package router
+
+import (
+	"repro/internal/snapshot"
+	"repro/internal/topology"
+)
+
+// SnapshotState encodes one VC: buffered flit count plus every resident
+// entry front-to-back. Entry structs themselves are representation
+// (recycled through the free list); their fields are the state.
+func (v *VC) SnapshotState(w *snapshot.Writer) {
+	w.Int(v.flits)
+	w.Int(v.entries.Len())
+	for i := 0; i < v.entries.Len(); i++ {
+		e := v.entries.At(i)
+		w.Packet(e.Pkt)
+		w.Int(e.Arrived)
+		w.Int(e.Sent)
+		w.Bool(e.Allocated)
+		w.Int(int(e.OutPort))
+		w.Int(e.OutVC)
+		w.I64(e.EnqueueCycle)
+		w.I64(e.LastMove)
+	}
+}
+
+// RestoreState decodes into a freshly built (empty) VC. Entries are
+// reconstructed through alloc so the owning router's resident counter
+// comes out right without being encoded separately.
+func (v *VC) RestoreState(r *snapshot.Reader) {
+	for v.entries.Len() > 0 {
+		v.flits -= v.entries.Front().Pkt.Len
+		v.release(v.entries.PopFront())
+	}
+	flits := r.Int()
+	n := r.Int()
+	for i := 0; i < n && r.Err() == nil; i++ {
+		e := v.alloc(r.Packet(), 0, 0)
+		e.Arrived = r.Int()
+		e.Sent = r.Int()
+		e.Allocated = r.Bool()
+		e.OutPort = topology.Direction(r.Int())
+		e.OutVC = r.Int()
+		e.EnqueueCycle = r.I64()
+		e.LastMove = r.I64()
+		v.entries.PushBack(e)
+	}
+	v.flits = flits
+}
+
+// SnapshotState encodes the router's mutable state: credit view,
+// per-class ejection locks, every input VC, and the round-robin
+// arbiter cursors (arbitration history is state — a restored run must
+// grant in the same rotation order).
+func (rt *Router) SnapshotState(w *snapshot.Writer) {
+	for p := 1; p < len(rt.vcFree); p++ {
+		for _, free := range rt.vcFree[p] {
+			w.Bool(free)
+		}
+	}
+	for c := range rt.ejecting {
+		w.Bool(rt.ejecting[c])
+	}
+	for _, iu := range rt.Inputs {
+		for _, v := range iu.VCs {
+			v.SnapshotState(w)
+		}
+	}
+	for _, a := range rt.saInArb {
+		w.Int(a.next)
+	}
+	for _, a := range rt.saOutArb {
+		w.Int(a.next)
+	}
+	w.Int(rt.portTie.next)
+}
+
+// RestoreState decodes into a freshly built router.
+func (rt *Router) RestoreState(r *snapshot.Reader) {
+	for p := 1; p < len(rt.vcFree); p++ {
+		for v := range rt.vcFree[p] {
+			rt.vcFree[p][v] = r.Bool()
+		}
+	}
+	for c := range rt.ejecting {
+		rt.ejecting[c] = r.Bool()
+	}
+	for _, iu := range rt.Inputs {
+		for _, v := range iu.VCs {
+			v.RestoreState(r)
+		}
+	}
+	for _, a := range rt.saInArb {
+		a.next = r.Int()
+	}
+	for _, a := range rt.saOutArb {
+		a.next = r.Int()
+	}
+	rt.portTie.next = r.Int()
+}
+
+func init() {
+	snapshot.Register("router.Router", Router{},
+		[]string{
+			"vcFree", "ejecting", "Inputs",
+			// resident is reconstructed by VC restore through the
+			// Resident pointer (one increment per rebuilt entry).
+			"resident",
+			"saInArb", "saOutArb", "portTie",
+		},
+		[]string{
+			// Wiring and sizing from New.
+			"ID", "Mesh", "Cfg", "Env", "outLinks", "inLinks",
+			// Per-cycle scratch, rewritten before every read.
+			"slots", "nominee", "granted", "isBest", "candPorts",
+			"candVCs", "bestPorts", "routeBuf", "saReqs", "saOutRq",
+		})
+	snapshot.Register("router.InputUnit", InputUnit{},
+		[]string{"VCs"},
+		[]string{"Port"})
+	snapshot.Register("router.VC", VC{},
+		[]string{"entries", "flits"},
+		[]string{"CapFlits", "MaxPkts", "freeEntries", "Resident"})
+	snapshot.Register("router.Entry", Entry{},
+		[]string{"Pkt", "Arrived", "Sent", "Allocated", "OutPort", "OutVC", "EnqueueCycle", "LastMove"},
+		nil)
+	snapshot.Register("router.RRArbiter", RRArbiter{},
+		[]string{"next"},
+		[]string{"n"})
+}

@@ -1,0 +1,223 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/traffic"
+)
+
+// checkpointBase is a configuration that exercises every snapshotted
+// subsystem at once: tracing, watchdogs, the packet pool, and (for
+// FastPass / Pitstop) controller-held packets.
+func checkpointBase(s Scheme, shards int) SynthConfig {
+	return SynthConfig{
+		Options: Options{
+			Scheme: s, W: 4, H: 4, Seed: 0xC0FFEE,
+			DrainPeriod: 2048, SwapDuty: 256,
+			TraceCapacity: 512,
+			Watchdog:      "on",
+			Shards:        shards,
+		},
+		Pattern: traffic.Uniform,
+		Rate:    0.10,
+		Warmup:  300, Measure: 900, Drain: 600,
+	}
+}
+
+// traceText renders a recorder's retained events for byte comparison.
+func traceText(t *testing.T, rec *trace.Recorder) string {
+	t.Helper()
+	var b strings.Builder
+	if err := rec.WriteText(&b); err != nil {
+		t.Fatalf("trace render: %v", err)
+	}
+	return b.String()
+}
+
+// lastCheckpoint runs cfg taking a checkpoint every `every` cycles and
+// returns the final blob alongside the run's result.
+func lastCheckpoint(cfg SynthConfig, every int64) (blob []byte, at int64, res SynthResult) {
+	c := cfg
+	c.CheckpointEvery = every
+	c.OnCheckpoint = func(cycle int64, b []byte) { at, blob = cycle, b }
+	res = RunSynthetic(c)
+	return blob, at, res
+}
+
+// TestCheckpointResumeBitIdentical is the headline invariant: snapshot
+// at cycle C, restore into a freshly built instance (from nothing but
+// the blob bytes, as a separate process would), run to the end — and
+// every stat, every retained trace event and every counter matches the
+// uninterrupted run exactly. Checked for every scheme (MinBD takes its
+// deflection-network path), at one shard and several.
+func TestCheckpointResumeBitIdentical(t *testing.T) {
+	for _, scheme := range Schemes() {
+		for _, shards := range []int{1, 4} {
+			scheme, shards := scheme, shards
+			t.Run(scheme.String()+"/shards="+string(rune('0'+shards)), func(t *testing.T) {
+				t.Parallel()
+				cfg := checkpointBase(scheme, shards)
+
+				base := newSynthRun(cfg)
+				baseRes := base.run()
+				baseTrace := traceText(t, base.inst.Trace)
+
+				blob, at, chkRes := lastCheckpoint(cfg, 500)
+				if blob == nil {
+					t.Fatal("no checkpoint was taken")
+				}
+				if got, want := resultFingerprint(chkRes), resultFingerprint(baseRes); got != want {
+					t.Fatalf("taking checkpoints perturbed the run\nwith:    %s\nwithout: %s", got, want)
+				}
+
+				rcfg, err := OpenCheckpoint(blob)
+				if err != nil {
+					t.Fatalf("OpenCheckpoint: %v", err)
+				}
+				resumed := newSynthRun(rcfg)
+				if err := resumed.restore(blob); err != nil {
+					t.Fatalf("restore: %v", err)
+				}
+				if got := resumed.inst.Cycle(); got != at {
+					t.Fatalf("restored to cycle %d, checkpoint was at %d", got, at)
+				}
+				resRes := resumed.run()
+				if got, want := resultFingerprint(resRes), resultFingerprint(baseRes); got != want {
+					t.Errorf("resumed run diverged from uninterrupted run\nresumed: %s\nbase:    %s", got, want)
+				}
+				if got := traceText(t, resumed.inst.Trace); got != baseTrace {
+					t.Errorf("resumed trace differs from uninterrupted trace\nresumed:\n%s\nbase:\n%s", got, baseTrace)
+				}
+			})
+		}
+	}
+}
+
+// TestResumeSyntheticAPI exercises the exported entry points end to
+// end the way a command does: blob in, result out.
+func TestResumeSyntheticAPI(t *testing.T) {
+	cfg := checkpointBase(FastPass, 1)
+	want := RunSynthetic(cfg)
+	blob, _, _ := lastCheckpoint(cfg, 700)
+	rcfg, err := OpenCheckpoint(blob)
+	if err != nil {
+		t.Fatalf("OpenCheckpoint: %v", err)
+	}
+	got, err := ResumeSynthetic(rcfg, blob)
+	if err != nil {
+		t.Fatalf("ResumeSynthetic: %v", err)
+	}
+	if resultFingerprint(got) != resultFingerprint(want) {
+		t.Errorf("resumed result differs\nresumed: %s\nbase:    %s", resultFingerprint(got), resultFingerprint(want))
+	}
+}
+
+// TestCheckpointRestoresAcrossShardCounts: shard layout is an execution
+// strategy, not state — a checkpoint taken at one shard count must
+// resume bit-identically at another.
+func TestCheckpointRestoresAcrossShardCounts(t *testing.T) {
+	cfg := checkpointBase(FastPass, 1)
+	want := RunSynthetic(cfg)
+	blob, _, _ := lastCheckpoint(cfg, 600)
+	rcfg, err := OpenCheckpoint(blob)
+	if err != nil {
+		t.Fatalf("OpenCheckpoint: %v", err)
+	}
+	for _, shards := range []int{1, 2, 4} {
+		rcfg.Shards = shards
+		got, err := ResumeSynthetic(rcfg, blob)
+		if err != nil {
+			t.Fatalf("resume at %d shards: %v", shards, err)
+		}
+		if resultFingerprint(got) != resultFingerprint(want) {
+			t.Errorf("resume at %d shards diverged\nresumed: %s\nbase:    %s",
+				shards, resultFingerprint(got), resultFingerprint(want))
+		}
+	}
+}
+
+// TestCheckpointCorruptionDetected: a flipped byte anywhere in the blob
+// must be rejected at Open, not silently decoded into a wrong state.
+func TestCheckpointCorruptionDetected(t *testing.T) {
+	blob, _, _ := lastCheckpoint(checkpointBase(EscapeVC, 1), 600)
+	for _, off := range []int{12, len(blob) / 2, len(blob) - 1} {
+		bad := append([]byte(nil), blob...)
+		bad[off] ^= 0x40
+		if _, err := OpenCheckpoint(bad); err == nil {
+			t.Errorf("corruption at offset %d was not detected", off)
+		}
+	}
+}
+
+// TestCheckpointUnderFaultsIdenticalAbort is the restore-under-faults
+// guarantee: a seeded fault campaign with watchdogs armed, checkpointed
+// mid-run, must reach the same abort at the same cycle with the same
+// structured report after restore — fault events, RNG draws and
+// watchdog phase all survive the round trip.
+func TestCheckpointUnderFaultsIdenticalAbort(t *testing.T) {
+	cfg := SynthConfig{
+		Options: Options{
+			Scheme: EscapeVC, W: 4, H: 4, Seed: 11,
+			Faults:   "linkfail:rate=0.002,dur=64;stallconsumer:node=3,at=400,perm",
+			Watchdog: "stride=16,starve=300",
+		},
+		Pattern: traffic.Uniform,
+		Rate:    0.08,
+		Warmup:  300, Measure: 900, Drain: 600,
+	}
+	base := RunSynthetic(cfg)
+	if !base.Aborted {
+		t.Fatal("fault campaign did not trip the watchdog; the test needs an aborting run")
+	}
+	blob, at, chkRes := lastCheckpoint(cfg, 250)
+	if blob == nil || at >= base.AbortCycle {
+		t.Fatalf("no checkpoint before the abort (last at %d, abort at %d)", at, base.AbortCycle)
+	}
+	if resultFingerprint(chkRes) != resultFingerprint(base) {
+		t.Fatalf("checkpointing perturbed the faulted run")
+	}
+	rcfg, err := OpenCheckpoint(blob)
+	if err != nil {
+		t.Fatalf("OpenCheckpoint: %v", err)
+	}
+	res, err := ResumeSynthetic(rcfg, blob)
+	if err != nil {
+		t.Fatalf("ResumeSynthetic: %v", err)
+	}
+	if res.AbortCycle != base.AbortCycle {
+		t.Errorf("abort cycle: resumed %d, uninterrupted %d", res.AbortCycle, base.AbortCycle)
+	}
+	if res.AbortReport != base.AbortReport {
+		t.Errorf("abort report differs\nresumed:\n%s\nbase:\n%s", res.AbortReport, base.AbortReport)
+	}
+	if res.Faults != base.Faults {
+		t.Errorf("fault counters differ: resumed %+v, base %+v", res.Faults, base.Faults)
+	}
+	if resultFingerprint(res) != resultFingerprint(base) {
+		t.Errorf("full result differs\nresumed: %s\nbase:    %s", resultFingerprint(res), resultFingerprint(base))
+	}
+}
+
+// TestValidateShards covers the CLI-facing bounds check.
+func TestValidateShards(t *testing.T) {
+	cases := []struct {
+		shards, nodes int
+		ok            bool
+	}{
+		{1, 16, true},
+		{4, 16, true},
+		{16, 16, true},
+		{0, 16, false},
+		{-3, 16, false},
+		{17, 16, false},
+		{2, 1, false},
+	}
+	for _, c := range cases {
+		err := ValidateShards(c.shards, c.nodes)
+		if (err == nil) != c.ok {
+			t.Errorf("ValidateShards(%d, %d) = %v, want ok=%v", c.shards, c.nodes, err, c.ok)
+		}
+	}
+}

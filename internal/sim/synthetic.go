@@ -7,6 +7,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/message"
 	"repro/internal/parallel"
+	"repro/internal/snapshot"
 	"repro/internal/stats"
 	"repro/internal/traffic"
 )
@@ -31,6 +32,14 @@ type SynthConfig struct {
 	// (ignored by other patterns).
 	HotspotNode     int
 	HotspotFraction float64
+
+	// CheckpointEvery, when positive, snapshots the full simulator state
+	// every that many cycles (at the top of the cycle, before injection)
+	// and hands the sealed blob to OnCheckpoint. The blob embeds this
+	// config; OpenCheckpoint recovers it and ResumeSynthetic continues
+	// the run bit-identically, including in a fresh process.
+	CheckpointEvery int64
+	OnCheckpoint    func(cycle int64, blob []byte)
 }
 
 func (c *SynthConfig) setDefaults() {
@@ -92,37 +101,73 @@ type SynthResult struct {
 	Faults faults.Counters
 }
 
-// RunSynthetic executes one synthetic point.
-func RunSynthetic(cfg SynthConfig) SynthResult {
+// synthRun is one synthetic experiment in progress: the built instance
+// plus the harness state around it (collector, generator, injection
+// RNG, lifetime counters). It exists so a run can be checkpointed at a
+// cycle boundary and resumed — RunSynthetic is newSynthRun().run().
+type synthRun struct {
+	cfg  SynthConfig
+	inst *Instance
+	col  *stats.Collector
+	gen  *traffic.Generator
+	rng  *rand.Rand
+	src  *snapshot.CountingSource
+	pool *message.Pool
+
+	created, delivered, corrupted int64
+}
+
+// newSynthRun builds the instance and wires the harness around it.
+func newSynthRun(cfg SynthConfig) *synthRun {
 	cfg.setDefaults()
-	inst := Build(cfg.Options)
-	col := stats.New(cfg.W*cfg.H, int64(cfg.Warmup), int64(cfg.Warmup+cfg.Measure))
-	var delivered, corrupted int64
-	inst.SetOnEject(func(pkt *message.Packet) {
-		delivered++
+	s := &synthRun{cfg: cfg}
+	s.inst = Build(cfg.Options)
+	s.col = stats.New(cfg.W*cfg.H, int64(cfg.Warmup), int64(cfg.Warmup+cfg.Measure))
+	s.inst.SetOnEject(func(pkt *message.Packet) {
+		s.delivered++
 		if pkt.Corrupted {
-			corrupted++
+			s.corrupted++
 		}
-		col.OnEject(pkt)
+		s.col.OnEject(pkt)
 	})
-	gen := &traffic.Generator{
+	s.pool = s.inst.UsePool()
+	s.gen = &traffic.Generator{
 		Pattern: cfg.Pattern, Rate: cfg.Rate, W: cfg.W, H: cfg.H,
 		HotspotNode: cfg.HotspotNode, HotspotFraction: cfg.HotspotFraction,
-		Pool: inst.UsePool(),
+		Pool: s.pool,
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed + 0x5eed))
-	total := cfg.Warmup + cfg.Measure + cfg.Drain
-	var created int64
-	aborted := false
-	for c := 0; c < total && !aborted; c++ {
-		for _, pkt := range gen.Tick(inst.Cycle(), rng) {
-			created++
-			col.OnCreate(pkt)
+	s.src = snapshot.NewCountingSource(cfg.Seed + 0x5eed)
+	s.rng = rand.New(s.src)
+	return s
+}
+
+// run advances from the current cycle (0 fresh, the checkpoint cycle
+// after a restore) to the end of the drain window and scores the point.
+func (s *synthRun) run() SynthResult {
+	cfg := s.cfg
+	inst := s.inst
+	total := int64(cfg.Warmup + cfg.Measure + cfg.Drain)
+	aborted := inst.Watch != nil && inst.Watch.Tripped()
+	for c := inst.Cycle(); c < total && !aborted; c++ {
+		if cfg.CheckpointEvery > 0 && c > 0 && c%cfg.CheckpointEvery == 0 &&
+			cfg.OnCheckpoint != nil {
+			cfg.OnCheckpoint(c, s.checkpoint())
+		}
+		for _, pkt := range s.gen.Tick(inst.Cycle(), s.rng) {
+			s.created++
+			s.col.OnCreate(pkt)
 			inst.Enqueue(pkt)
 		}
 		inst.Step()
 		aborted = inst.Watch != nil && inst.Watch.Tripped()
 	}
+	return s.result()
+}
+
+// result scores the finished run.
+func (s *synthRun) result() SynthResult {
+	cfg, inst, col := s.cfg, s.inst, s.col
+	created, delivered, corrupted := s.created, s.delivered, s.corrupted
 	res := SynthResult{
 		Scheme:         cfg.Scheme,
 		Pattern:        cfg.Pattern,
@@ -167,6 +212,11 @@ func RunSynthetic(cfg SynthConfig) SynthResult {
 		res.AvgLatency > cfg.SatLatency ||
 		res.DeliveredFrac < 0.9
 	return res
+}
+
+// RunSynthetic executes one synthetic point.
+func RunSynthetic(cfg SynthConfig) SynthResult {
+	return newSynthRun(cfg).run()
 }
 
 // SweepLatency measures a latency-vs-injection-rate curve (one Fig. 7

@@ -1,0 +1,348 @@
+// Package snapshot is the serialization substrate for checkpoint /
+// restore: a versioned, deterministic, stdlib-only binary codec plus
+// the small contracts (Stater, manifests, counting RNG sources) that
+// let every stateful simulator layer express its mutable state
+// explicitly.
+//
+// # Format
+//
+// A sealed checkpoint is
+//
+//	magic u32 | version u32 | crc32 u32 | meta len + bytes | packet table | graph body
+//
+// with every integer fixed-width little-endian. The crc covers all
+// bytes after itself, so truncation and corruption fail loudly at Open
+// rather than as a garbled restore. The meta blob is opaque to this
+// package — the simulator stores its full run configuration there so a
+// checkpoint file is self-describing (restore needs no flags).
+//
+// # Pointer translation
+//
+// Live state is a graph: the same *message.Packet is referenced from a
+// VC entry, the trace, a controller flight and possibly a pool free
+// list. Writer.Packet registers each distinct packet on first
+// encounter and emits a table index, so shared references encode as
+// shared indices and survive a process boundary. Seal then writes the
+// packet table (each packet's own fields, in first-encounter order)
+// ahead of the graph body; Open materialises the table first and hands
+// the body Reader the index→pointer mapping, so decoding rebuilds the
+// exact aliasing structure.
+//
+// Encoding never iterates a map (first-encounter order is carried by a
+// slice) and never reads the wall clock, so identical state produces
+// identical bytes — the property the checkpoint-equivalence CI job
+// diffs on.
+package snapshot
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"repro/internal/message"
+)
+
+// Version is the checkpoint format version. Bump it on any layout
+// change; Open rejects mismatches outright (no cross-version decode —
+// a checkpoint is a resume token, not an archival format).
+const Version = 1
+
+// magic spells "NOCS" when the u32 is read little-endian.
+const magic = 0x53434f4e
+
+// Writer serialises state into a growing buffer. The zero Writer is
+// not usable for packet references; construct with NewWriter.
+type Writer struct {
+	buf   []byte
+	pkts  map[*message.Packet]int32
+	order []*message.Packet
+}
+
+// NewWriter returns an empty Writer ready to register packet
+// references.
+func NewWriter() *Writer {
+	return &Writer{pkts: make(map[*message.Packet]int32)}
+}
+
+// U8 writes one byte.
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+
+// Bool writes a bool as one byte (0 or 1).
+func (w *Writer) Bool(v bool) {
+	var b uint8
+	if v {
+		b = 1
+	}
+	w.U8(b)
+}
+
+// U32 writes a fixed 4-byte little-endian word.
+func (w *Writer) U32(v uint32) {
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, v)
+}
+
+// I32 writes an int32 as its two's-complement u32.
+func (w *Writer) I32(v int32) { w.U32(uint32(v)) }
+
+// U64 writes a fixed 8-byte little-endian word.
+func (w *Writer) U64(v uint64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, v)
+}
+
+// I64 writes an int64 as its two's-complement u64.
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// Int writes an int as an i64 (cycle counters and lengths are int64 or
+// machine ints throughout the simulator; 8 bytes covers both).
+func (w *Writer) Int(v int) { w.I64(int64(v)) }
+
+// F64 writes a float64 by bit pattern.
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// Str writes a length-prefixed string.
+func (w *Writer) Str(s string) {
+	w.Int(len(s))
+	w.buf = append(w.buf, s...)
+}
+
+// Packet writes a reference to p: -1 for nil, otherwise p's index in
+// the packet table, registering p on first encounter.
+func (w *Writer) Packet(p *message.Packet) {
+	if p == nil {
+		w.I32(-1)
+		return
+	}
+	idx, ok := w.pkts[p]
+	if !ok {
+		idx = int32(len(w.order))
+		w.pkts[p] = idx
+		w.order = append(w.order, p)
+	}
+	w.I32(idx)
+}
+
+// Bytes returns the encoded buffer (the graph body when the Writer is
+// later passed to Seal).
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Packets returns the registered packets in first-encounter order.
+func (w *Writer) Packets() []*message.Packet { return w.order }
+
+// Reader decodes a buffer produced by a Writer. Errors are sticky:
+// after the first failure every read returns a zero value and Err
+// reports the original cause, so decode call-sites stay unconditional.
+type Reader struct {
+	data []byte
+	off  int
+	err  error
+	pkts []*message.Packet
+}
+
+// NewReader wraps raw bytes (used for the meta blob, which carries no
+// packet references).
+func NewReader(data []byte) *Reader { return &Reader{data: data} }
+
+// Err reports the first decode failure, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Fail records a decode failure raised by a caller — per-package
+// restore code uses it for state-mismatch checks (e.g. a checkpoint
+// carrying controller state for a controller that has none).
+func (r *Reader) Fail(format string, args ...any) { r.fail(format, args...) }
+
+// fail records the first error.
+func (r *Reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("snapshot: "+format, args...)
+	}
+}
+
+// take consumes n bytes, or fails.
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.data) {
+		r.fail("truncated: need %d bytes at offset %d of %d", n, r.off, len(r.data))
+		return nil
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Bool reads a one-byte bool, rejecting anything but 0 or 1.
+func (r *Reader) Bool() bool {
+	switch v := r.U8(); v {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		r.fail("corrupt bool byte %d", v)
+		return false
+	}
+}
+
+// U32 reads a fixed 4-byte little-endian word.
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// I32 reads an int32.
+func (r *Reader) I32() int32 { return int32(r.U32()) }
+
+// U64 reads a fixed 8-byte little-endian word.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// I64 reads an int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// Int reads an int written by Writer.Int.
+func (r *Reader) Int() int { return int(r.I64()) }
+
+// F64 reads a float64 by bit pattern.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Str reads a length-prefixed string.
+func (r *Reader) Str() string {
+	n := r.Int()
+	if r.err != nil || n < 0 {
+		if n < 0 {
+			r.fail("negative string length %d", n)
+		}
+		return ""
+	}
+	return string(r.take(n))
+}
+
+// Packet resolves a packet reference written by Writer.Packet.
+func (r *Reader) Packet() *message.Packet {
+	idx := r.I32()
+	if r.err != nil || idx < 0 {
+		return nil
+	}
+	if int(idx) >= len(r.pkts) {
+		r.fail("packet reference %d out of table range %d", idx, len(r.pkts))
+		return nil
+	}
+	return r.pkts[int(idx)]
+}
+
+// writePacketRow encodes one packet's own fields for the table. The
+// unexported recycled marker is deliberately absent: free-list
+// membership defines it, and Pool restore re-poisons pooled packets.
+func writePacketRow(w *Writer, p *message.Packet) {
+	w.U64(p.ID)
+	w.Int(p.Src)
+	w.Int(p.Dst)
+	w.U8(uint8(p.Class))
+	w.Int(p.Len)
+	w.U64(p.TxnID)
+	w.I64(p.CreateTime)
+	w.I64(p.InjectTime)
+	w.I64(p.EjectTime)
+	w.U8(uint8(p.Kind))
+	w.I64(p.RegularCycles)
+	w.I64(p.FastCycles)
+	w.Int(p.Dropped)
+	w.Bool(p.Rejected)
+	w.Int(p.Hops)
+	w.Bool(p.Corrupted)
+}
+
+// readPacketRow materialises one packet from its table row.
+func readPacketRow(r *Reader) *message.Packet {
+	p := &message.Packet{}
+	p.ID = r.U64()
+	p.Src = r.Int()
+	p.Dst = r.Int()
+	p.Class = message.Class(r.U8())
+	p.Len = r.Int()
+	p.TxnID = r.U64()
+	p.CreateTime = r.I64()
+	p.InjectTime = r.I64()
+	p.EjectTime = r.I64()
+	p.Kind = message.Kind(r.U8())
+	p.RegularCycles = r.I64()
+	p.FastCycles = r.I64()
+	p.Dropped = r.Int()
+	p.Rejected = r.Bool()
+	p.Hops = r.Int()
+	p.Corrupted = r.Bool()
+	return p
+}
+
+// Seal assembles a checkpoint file from an opaque meta blob and a
+// fully-encoded graph body: header, meta, the packet table (in the
+// body's first-encounter order) and the body bytes, with the crc
+// stamped over everything after itself.
+func Seal(meta []byte, body *Writer) []byte {
+	t := &Writer{}
+	t.Int(len(body.order))
+	for _, p := range body.order {
+		writePacketRow(t, p)
+	}
+
+	h := &Writer{}
+	h.buf = make([]byte, 0, 12+8+len(meta)+len(t.buf)+len(body.buf))
+	h.U32(magic)
+	h.U32(Version)
+	h.U32(0) // crc placeholder
+	h.Int(len(meta))
+	h.buf = append(h.buf, meta...)
+	h.buf = append(h.buf, t.buf...)
+	h.buf = append(h.buf, body.buf...)
+	binary.LittleEndian.PutUint32(h.buf[8:12], crc32.ChecksumIEEE(h.buf[12:]))
+	return h.buf
+}
+
+// Open validates a sealed checkpoint and splits it back into the meta
+// blob and a body Reader whose packet table is already materialised.
+func Open(data []byte) (meta []byte, body *Reader, err error) {
+	r := &Reader{data: data}
+	if m := r.U32(); r.err == nil && m != magic {
+		return nil, nil, fmt.Errorf("snapshot: bad magic %#08x (not a checkpoint file?)", m)
+	}
+	if v := r.U32(); r.err == nil && v != Version {
+		return nil, nil, fmt.Errorf("snapshot: format version %d, this build reads only %d", v, Version)
+	}
+	crc := r.U32()
+	if r.err == nil && crc32.ChecksumIEEE(data[12:]) != crc {
+		return nil, nil, fmt.Errorf("snapshot: crc mismatch (truncated or corrupted checkpoint)")
+	}
+	n := r.Int()
+	meta = append([]byte(nil), r.take(n)...)
+	cnt := r.Int()
+	if r.err == nil && cnt < 0 {
+		r.fail("negative packet count %d", cnt)
+	}
+	var pkts []*message.Packet
+	for i := 0; i < cnt && r.err == nil; i++ {
+		pkts = append(pkts, readPacketRow(r))
+	}
+	if r.err != nil {
+		return nil, nil, r.err
+	}
+	return meta, &Reader{data: data, off: r.off, pkts: pkts}, nil
+}

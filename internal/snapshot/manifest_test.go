@@ -1,0 +1,72 @@
+package snapshot_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/snapshot"
+
+	// Each snapshotted package registers its manifests from init().
+	// sim transitively pulls in every scheme, the network stack, faults,
+	// invariant, trace, stats, traffic, minbd and protocol — the blank
+	// imports below only add leaves sim does not reach.
+	_ "repro/internal/protocol"
+	_ "repro/internal/sim"
+)
+
+// TestManifestsCoverEveryField is the snapshot-completeness guard: for
+// every registered struct, each field must be declared either encoded
+// or transient. Adding a stateful field to any snapshotted struct
+// without teaching the codec (or explicitly tagging it transient) fails
+// here — the silent-staleness failure mode a checkpoint format dreads.
+func TestManifestsCoverEveryField(t *testing.T) {
+	ms := snapshot.Manifests()
+	if len(ms) < 30 {
+		t.Fatalf("only %d manifests registered; the snapshotted packages did not all load", len(ms))
+	}
+	seen := make(map[string]bool, len(ms))
+	for _, m := range ms {
+		if seen[m.Name] {
+			t.Errorf("%s: registered twice", m.Name)
+		}
+		seen[m.Name] = true
+		typ := reflect.TypeOf(m.Sample)
+		if typ == nil || typ.Kind() != reflect.Struct {
+			t.Errorf("%s: sample is %v, want a struct", m.Name, typ)
+			continue
+		}
+		declared := map[string]string{}
+		for _, f := range m.Encoded {
+			declared[f] = "encoded"
+		}
+		for _, f := range m.Transient {
+			if declared[f] != "" {
+				t.Errorf("%s: field %s declared both encoded and transient", m.Name, f)
+			}
+			declared[f] = "transient"
+		}
+		actual := map[string]bool{}
+		for i := 0; i < typ.NumField(); i++ {
+			name := typ.Field(i).Name
+			actual[name] = true
+			if declared[name] == "" {
+				t.Errorf("%s: field %s is neither encoded nor declared transient — the checkpoint codec does not know about it", m.Name, name)
+			}
+		}
+		for name := range declared {
+			if !actual[name] {
+				t.Errorf("%s: manifest declares field %s which no longer exists", m.Name, name)
+			}
+		}
+	}
+	// Spot-check the load-bearing roots are present at all.
+	for _, want := range []string{
+		"network.Network", "router.Router", "nic.NIC", "message.Pool",
+		"fastpass.Controller", "faults.Injector", "invariant.Watchdog",
+		"minbd.Network", "protocol.Engine", "sim.SynthConfig",
+	} {
+		if !seen[want] {
+			t.Errorf("manifest %s is not registered", want)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package snapshot
+
+import "math/rand"
+
+// CountingSource wraps the standard library's seeded rand source with
+// a draw counter, making a math/rand stream checkpointable without
+// changing a single emitted value: the wrapper is pure pass-through,
+// and rand's generator advances exactly one internal step per source
+// call, so (seed, draws) fully determines the stream position. Restore
+// recreates the source from the seed and discards the recorded number
+// of draws.
+//
+// The counter deliberately lives at the Source64 level, not the
+// rand.Rand level: derived methods (Float64's rounding redraw, Intn's
+// rejection loop) may consume a variable number of source draws, and
+// counting the actual draws is what makes replay exact.
+type CountingSource struct {
+	src rand.Source64
+	n   uint64
+}
+
+// NewCountingSource returns a counting source seeded like
+// rand.NewSource(seed).
+func NewCountingSource(seed int64) *CountingSource {
+	return &CountingSource{src: rand.NewSource(seed).(rand.Source64)}
+}
+
+// Int63 draws from the underlying source.
+func (s *CountingSource) Int63() int64 {
+	s.n++
+	return s.src.Int63()
+}
+
+// Uint64 draws from the underlying source.
+func (s *CountingSource) Uint64() uint64 {
+	s.n++
+	return s.src.Uint64()
+}
+
+// Seed reseeds the underlying source and resets the draw counter.
+func (s *CountingSource) Seed(seed int64) {
+	s.n = 0
+	s.src.Seed(seed)
+}
+
+// Draws reports how many source values have been consumed since
+// seeding.
+func (s *CountingSource) Draws() uint64 { return s.n }
+
+// Skip fast-forwards the stream by discarding n draws (restore path).
+func (s *CountingSource) Skip(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		s.src.Uint64()
+	}
+	s.n += n
+}

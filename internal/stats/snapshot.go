@@ -1,0 +1,67 @@
+package stats
+
+import "repro/internal/snapshot"
+
+func writeI64s(w *snapshot.Writer, xs []int64) {
+	w.Int(len(xs))
+	for _, x := range xs {
+		w.I64(x)
+	}
+}
+
+func readI64s(r *snapshot.Reader, xs []int64) []int64 {
+	n := r.Int()
+	xs = xs[:0]
+	for i := 0; i < n && r.Err() == nil; i++ {
+		xs = append(xs, r.I64())
+	}
+	return xs
+}
+
+// SnapshotState encodes the collector's accumulated samples and
+// counters. The sorted percentile cache is not encoded — restore marks
+// it stale and the next quantile read rebuilds it.
+func (c *Collector) SnapshotState(w *snapshot.Writer) {
+	writeI64s(w, c.latencies)
+	writeI64s(w, c.fastTime)
+	writeI64s(w, c.regTime)
+	writeI64s(w, c.regOnly)
+	w.I64(c.created)
+	w.I64(c.ejectedWindow)
+	w.I64(c.flitsWindow)
+	w.I64(c.regularPkts)
+	w.I64(c.fastPkts)
+	w.I64(c.droppedPkts)
+	for _, v := range c.perClassEjects {
+		w.I64(v)
+	}
+}
+
+// RestoreState decodes into a collector built with the same window.
+func (c *Collector) RestoreState(r *snapshot.Reader) {
+	c.latencies = readI64s(r, c.latencies)
+	c.fastTime = readI64s(r, c.fastTime)
+	c.regTime = readI64s(r, c.regTime)
+	c.regOnly = readI64s(r, c.regOnly)
+	c.sorted = c.sorted[:0]
+	c.sortedStale = true
+	c.created = r.I64()
+	c.ejectedWindow = r.I64()
+	c.flitsWindow = r.I64()
+	c.regularPkts = r.I64()
+	c.fastPkts = r.I64()
+	c.droppedPkts = r.I64()
+	for i := range c.perClassEjects {
+		c.perClassEjects[i] = r.I64()
+	}
+}
+
+func init() {
+	snapshot.Register("stats.Collector", Collector{},
+		[]string{"latencies", "fastTime", "regTime", "regOnly", "created",
+			"ejectedWindow", "flitsWindow", "regularPkts", "fastPkts",
+			"droppedPkts", "perClassEjects"},
+		[]string{"Nodes", "MeasStart", "MeasEnd", "sorted", "sortedStale"})
+}
+
+var _ snapshot.Stater = (*Collector)(nil)

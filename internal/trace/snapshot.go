@@ -1,0 +1,59 @@
+package trace
+
+import "repro/internal/snapshot"
+
+// SnapshotState encodes the recorder's exact ring layout — raw buffer
+// order plus the eviction cursor, not chronological order — so restore
+// reproduces the byte-identical buffer a continued run would have had.
+// KindS is not encoded; it is re-derived from Kind.
+func (r *Recorder) SnapshotState(w *snapshot.Writer) {
+	w.Int(len(r.buf))
+	for _, e := range r.buf {
+		w.I64(e.Cycle)
+		w.U8(uint8(e.Kind))
+		w.U64(e.Pkt)
+		w.Int(e.Node)
+		w.Str(e.Note)
+	}
+	w.Int(r.next)
+	w.I64(r.total)
+	for _, c := range r.byKind {
+		w.I64(c)
+	}
+}
+
+// RestoreState decodes into a recorder built with the same capacity.
+func (r *Recorder) RestoreState(rd *snapshot.Reader) {
+	n := rd.Int()
+	if n > cap(r.buf) {
+		rd.Fail("trace: checkpoint retains %d events but recorder capacity is %d", n, cap(r.buf))
+		return
+	}
+	r.buf = r.buf[:0]
+	for i := 0; i < n && rd.Err() == nil; i++ {
+		e := Event{
+			Cycle: rd.I64(),
+			Kind:  Kind(rd.U8()),
+			Pkt:   rd.U64(),
+			Node:  rd.Int(),
+			Note:  rd.Str(),
+		}
+		e.KindS = e.Kind.String()
+		r.buf = append(r.buf, e)
+	}
+	r.next = rd.Int()
+	r.total = rd.I64()
+	for i := range r.byKind {
+		r.byKind[i] = rd.I64()
+	}
+}
+
+func init() {
+	snapshot.Register("trace.Recorder", Recorder{},
+		[]string{"buf", "next", "total", "byKind"}, nil)
+	snapshot.Register("trace.Event", Event{},
+		// KindS is re-derived from Kind on restore.
+		[]string{"Cycle", "Kind", "KindS", "Pkt", "Node", "Note"}, nil)
+}
+
+var _ snapshot.Stater = (*Recorder)(nil)

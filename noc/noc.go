@@ -76,6 +76,23 @@ type (
 // RunSynthetic executes one synthetic-traffic measurement point.
 func RunSynthetic(cfg SynthConfig) SynthResult { return sim.RunSynthetic(cfg) }
 
+// OpenCheckpoint validates a checkpoint blob (produced through
+// SynthConfig.CheckpointEvery/OnCheckpoint) and returns the embedded
+// run configuration. Shards and the checkpoint knobs may be adjusted
+// before resuming; everything else must stay as recorded.
+func OpenCheckpoint(data []byte) (SynthConfig, error) { return sim.OpenCheckpoint(data) }
+
+// ResumeSynthetic rebuilds the instance described by cfg, restores the
+// checkpointed state, and runs to completion. The continuation is
+// bit-identical to the uninterrupted run.
+func ResumeSynthetic(cfg SynthConfig, data []byte) (SynthResult, error) {
+	return sim.ResumeSynthetic(cfg, data)
+}
+
+// ValidateShards checks a shard-count request against the mesh size at
+// flag-parse time (1 ≤ shards ≤ nodes).
+func ValidateShards(shards, nodes int) error { return sim.ValidateShards(shards, nodes) }
+
 // SweepLatency measures a latency-vs-injection-rate curve (a Fig. 7
 // series) on all cores. Results are deterministic: the same seed yields
 // bit-identical curves at any parallelism.
