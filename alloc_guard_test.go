@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/traffic"
 	"repro/noc"
 )
@@ -60,5 +61,59 @@ func TestSteadyStateZeroAllocsPerCycle(t *testing.T) {
 					got, steadyStateAllocBudget)
 			}
 		})
+	}
+}
+
+// TestSteadyStateZeroAllocsWithTelemetry pins the telemetry hot path:
+// with a Metrics attached — counters, gauges, a vector gauge, grids and
+// the latency histogram, exactly the probe mix a real run registers —
+// the per-cycle cost is a modulo check in Tick plus histogram
+// increments, and the allocator must stay untouched. The window close
+// itself is amortised (pinned by the telemetry package's own test); a
+// window beyond the horizon keeps it out of this measurement.
+func TestSteadyStateZeroAllocsWithTelemetry(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; run the guard without -race")
+	}
+	inst := sim.Build(sim.Options{Scheme: noc.FastPass, W: 4, H: 4, Seed: 1, Watchdog: "on"})
+	n := inst.Net
+	m := telemetry.New(telemetry.Options{Window: 1 << 40}, telemetry.Meta{
+		Scheme: "FastPass", Pattern: "uniform", Rate: 0.10, Nodes: 16,
+	})
+	m.Counter("link_flits", func() int64 { return n.FlitsOnLinks })
+	m.Gauge("resident", func() int64 {
+		var tot int64
+		for _, rt := range n.Routers {
+			tot += int64(rt.Resident())
+		}
+		return tot
+	})
+	m.VecGauge("vc_occ", n.Routers[0].Cfg.NetVCs(), func(v int) int64 {
+		var tot int64
+		for _, rt := range n.Routers {
+			tot += int64(rt.VCOccupancy(v))
+		}
+		return tot
+	})
+	m.NodeGrid(len(n.Routers), func(i int) int64 { return n.Routers[i].FlitsRouted })
+	m.LinkGrid(n.NumChannels(), n.LinkFlits)
+	m.Freeze()
+
+	gen := &traffic.Generator{Pattern: traffic.Uniform, Rate: 0.10, W: 4, H: 4, Pool: inst.UsePool()}
+	rng := rand.New(rand.NewSource(0x5eed))
+	tick := func() {
+		for _, pkt := range gen.Tick(inst.Cycle(), rng) {
+			inst.Enqueue(pkt)
+		}
+		inst.Step()
+		m.ObserveLatency(inst.Cycle() & 63)
+		m.Tick(inst.Cycle())
+	}
+	for c := 0; c < 8000; c++ {
+		tick()
+	}
+	if got := testing.AllocsPerRun(300, tick); got > steadyStateAllocBudget {
+		t.Errorf("telemetry-on cycle allocates %.3f times on average, want ~0 (budget %.2f)",
+			got, steadyStateAllocBudget)
 	}
 }

@@ -8,6 +8,8 @@
 //	nocsim -scheme FastPass -faults 'linkfail:rate=1e-4,dur=64;corrupt:rate=1e-5' -rate 0.05
 //	nocsim -scheme FastPass -rate 0.05 -checkpoint run.ckpt -checkpoint-every 2000
 //	nocsim -restore run.ckpt
+//	nocsim -scheme FastPass -rate 0.05 -telemetry run.jsonl -telemetry-window 500 -heatmap run
+//	nocsim -scheme FastPass -rate 0.05 -measure 200000 -http :8080 -progress
 //
 // A checkpointed synthetic run can be resumed with -restore; the
 // continuation is bit-identical to the uninterrupted run (stats, trace
@@ -47,7 +49,12 @@ func main() {
 	shards := flag.Int("shards", 1, "spatial shards stepping the mesh in parallel (bit-identical to 1; ignored by MinBD)")
 	checkpointPath := flag.String("checkpoint", "", "write the full simulator state to this file every -checkpoint-every cycles (synthetic runs only)")
 	checkpointEvery := flag.Int64("checkpoint-every", 0, "cycles between checkpoints (requires -checkpoint)")
-	restorePath := flag.String("restore", "", "resume a synthetic run from a checkpoint file; run parameters come from the checkpoint (only -shards, -checkpoint and -checkpoint-every apply on top)")
+	restorePath := flag.String("restore", "", "resume a synthetic run from a checkpoint file; run parameters come from the checkpoint (only -shards, -checkpoint, -checkpoint-every and the telemetry sinks apply on top)")
+	telemetryPath := flag.String("telemetry", "", "stream per-window telemetry records to this JSONL file (synthetic runs only)")
+	telemetryWindow := flag.Int64("telemetry-window", 1000, "cycles per telemetry window (with -telemetry, -heatmap or -http)")
+	heatmapPrefix := flag.String("heatmap", "", "write per-window utilisation grids to <prefix>-nodes.csv and <prefix>-links.csv")
+	httpAddr := flag.String("http", "", "serve live telemetry on this address (/metrics, /events, /debug/pprof)")
+	progress := flag.Bool("progress", false, "print a single-line progress status to stderr during synthetic runs")
 	flag.Parse()
 
 	if (*checkpointPath == "") != (*checkpointEvery == 0) {
@@ -56,9 +63,16 @@ func main() {
 	if *checkpointEvery < 0 {
 		log.Fatalf("-checkpoint-every %d must be positive", *checkpointEvery)
 	}
+	if *telemetryWindow <= 0 {
+		log.Fatalf("-telemetry-window %d must be positive", *telemetryWindow)
+	}
+	tf := telemetryFlags{
+		path: *telemetryPath, window: *telemetryWindow,
+		heatmap: *heatmapPrefix, httpAddr: *httpAddr, progress: *progress,
+	}
 
 	if *restorePath != "" {
-		runRestored(*restorePath, *shards, *checkpointPath, *checkpointEvery)
+		runRestored(*restorePath, *shards, *checkpointPath, *checkpointEvery, tf)
 		return
 	}
 
@@ -89,6 +103,9 @@ func main() {
 		if *checkpointEvery > 0 {
 			log.Fatal("-checkpoint only applies to synthetic runs")
 		}
+		if tf.enabled() || tf.progress {
+			log.Fatal("-telemetry, -heatmap, -http and -progress only apply to synthetic runs")
+		}
 		runApp(opts, *app)
 		return
 	}
@@ -110,7 +127,10 @@ func main() {
 		CheckpointEvery: *checkpointEvery,
 		OnCheckpoint:    checkpointWriter(*checkpointPath),
 	}
-	printSynth(noc.RunSynthetic(cfg), cfg.Faults != "")
+	cleanup := tf.apply(&cfg)
+	res := noc.RunSynthetic(cfg)
+	cleanup()
+	printSynth(res, cfg.Faults != "")
 }
 
 // checkpointWriter returns the OnCheckpoint hook: each checkpoint
@@ -133,8 +153,13 @@ func checkpointWriter(path string) func(int64, []byte) {
 
 // runRestored resumes a synthetic run from a checkpoint file. The
 // embedded config supplies the run parameters; -shards (when explicitly
-// passed) and the checkpoint flags are the only overrides.
-func runRestored(path string, shards int, checkpointPath string, checkpointEvery int64) {
+// passed), the checkpoint flags and the telemetry sinks are the only
+// overrides. The telemetry *window* is part of the recorded config —
+// record boundaries must line up with the original run — so asking for
+// telemetry on a checkpoint recorded without it (or changing the window)
+// is an error, while attaching fresh sinks to a recorded window is the
+// expected resume path.
+func runRestored(path string, shards int, checkpointPath string, checkpointEvery int64, tf telemetryFlags) {
 	blob, err := os.ReadFile(path)
 	if err != nil {
 		log.Fatal(err)
@@ -143,17 +168,28 @@ func runRestored(path string, shards int, checkpointPath string, checkpointEvery
 	if err != nil {
 		log.Fatal(err)
 	}
-	shardsSet := false
-	flag.Visit(func(f *flag.Flag) { shardsSet = shardsSet || f.Name == "shards" })
+	shardsSet, windowSet := false, false
+	flag.Visit(func(f *flag.Flag) {
+		shardsSet = shardsSet || f.Name == "shards"
+		windowSet = windowSet || f.Name == "telemetry-window"
+	})
 	if shardsSet {
 		if err := noc.ValidateShards(shards, cfg.W*cfg.H); err != nil {
 			log.Fatal(err)
 		}
 		cfg.Shards = shards
 	}
+	if tf.enabled() && cfg.Telemetry.Window == 0 {
+		log.Fatal("checkpoint was recorded without telemetry; -telemetry/-heatmap/-http cannot attach mid-run")
+	}
+	if windowSet && cfg.Telemetry.Window != 0 && tf.window != cfg.Telemetry.Window {
+		log.Fatalf("-telemetry-window %d conflicts with the checkpoint's recorded window %d", tf.window, cfg.Telemetry.Window)
+	}
 	cfg.CheckpointEvery = checkpointEvery
 	cfg.OnCheckpoint = checkpointWriter(checkpointPath)
+	cleanup := tf.apply(&cfg)
 	res, err := noc.ResumeSynthetic(cfg, blob)
+	cleanup()
 	if err != nil {
 		log.Fatal(err)
 	}

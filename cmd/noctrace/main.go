@@ -7,11 +7,13 @@
 //
 //	noctrace -scheme FastPass -rate 0.08 -cycles 3000
 //	noctrace -scheme FastPass -rate 0.10 -vcs 1 -pkt 120 -json
+//	noctrace -scheme FastPass -rate 0.08 -jsonl > events.jsonl
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
@@ -35,6 +37,7 @@ func main() {
 	capacity := flag.Int("events", 200, "retained event count")
 	pkt := flag.Uint64("pkt", 0, "print one packet's lifecycle")
 	asJSON := flag.Bool("json", false, "emit the event log as JSON")
+	asJSONL := flag.Bool("jsonl", false, "emit the event log as JSON Lines (one event per line)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	flag.Parse()
 
@@ -58,8 +61,17 @@ func main() {
 	}
 
 	rec := inst.Trace
-	fmt.Print(rec.Summary())
-	fmt.Println()
+	if *asJSON && *asJSONL {
+		log.Fatal("-json and -jsonl are mutually exclusive")
+	}
+	// Machine-readable modes keep stdout pure (pipe to jq, redirect to
+	// a .jsonl file); the human summary moves to stderr.
+	summaryOut := io.Writer(os.Stdout)
+	if *asJSON || *asJSONL {
+		summaryOut = os.Stderr
+	}
+	fmt.Fprint(summaryOut, rec.Summary())
+	fmt.Fprintln(summaryOut)
 	if *pkt != 0 {
 		hist := rec.PacketHistory(*pkt)
 		if len(hist) == 0 {
@@ -74,6 +86,12 @@ func main() {
 	}
 	if *asJSON {
 		if err := rec.WriteJSON(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *asJSONL {
+		if err := rec.WriteJSONL(os.Stdout); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -15,6 +15,11 @@
 //	sweep -pattern Transpose -schemes FastPass,EscapeVC,SPIN -size 8
 //	sweep -schemes FastPass -rate-min 0.02 -rate-max 0.2 -j 4
 //	sweep -schemes FastPass,EscapeVC -faults 'linkfail:rate=2e-3,dur=64' -fault-scales 0,0.5,1
+//	sweep -schemes FastPass -telemetry sweep.jsonl -telemetry-window 500
+//
+// With -telemetry every run's windowed metrics stream is buffered and
+// written to one JSONL file in (scheme, rate) order after the sweep —
+// byte-identical at any -j, like the CSV.
 //
 // If the invariant watchdog aborts any latency-sweep point, the CSV
 // (with the aborted points as empty cells) is still written, every
@@ -53,6 +58,8 @@ func main() {
 	faultScales := flag.String("fault-scales", "", "comma-separated intensity multipliers; switches to the resilience experiment (requires -faults)")
 	watchdog := flag.String("watchdog", "on", "invariant watchdogs: on, off, or tuning clauses")
 	shards := flag.Int("shards", 1, "spatial shards per simulation (bit-identical to 1; ignored by MinBD); composes with -j across runs")
+	telemetryPath := flag.String("telemetry", "", "write every run's windowed telemetry records to this JSONL file, in (scheme, rate) order regardless of -j")
+	telemetryWindow := flag.Int64("telemetry-window", 1000, "cycles per telemetry window (with -telemetry)")
 	flag.Parse()
 
 	cfg, err := buildConfig(*schemes, *patternName, *size, *seed, *rateMin, *rateMax, *rateStep, *jobs)
@@ -70,6 +77,15 @@ func main() {
 		log.Fatal(err)
 	}
 	cfg.shards = *shards
+	if *telemetryWindow <= 0 {
+		log.Fatalf("-telemetry-window %d must be positive", *telemetryWindow)
+	}
+	if *telemetryPath != "" {
+		if *faultScales != "" {
+			log.Fatal("-telemetry does not apply to the resilience experiment")
+		}
+		cfg.telemetry = newTelemetrySink(cfg, *telemetryWindow)
+	}
 
 	if *faultScales != "" {
 		if *faultSpec == "" {
@@ -95,6 +111,11 @@ func main() {
 
 	csv, reports := sweepCSV(cfg)
 	fmt.Print(csv)
+	if cfg.telemetry != nil {
+		if err := cfg.telemetry.writeFile(*telemetryPath); err != nil {
+			log.Fatal(err)
+		}
+	}
 	for _, r := range reports {
 		fmt.Fprintln(os.Stderr, r)
 	}
@@ -139,6 +160,9 @@ type sweepConfig struct {
 	// shards is the intra-sim spatial shard count each run steps with;
 	// bit-identical to 1 by contract, so it never perturbs the CSV.
 	shards int
+	// telemetry, when non-nil, buffers every run's JSONL stream for
+	// deterministic ordered output after the sweep.
+	telemetry *telemetrySink
 }
 
 // buildConfig turns raw flag values into a validated sweepConfig.
@@ -242,9 +266,22 @@ func (cfg sweepConfig) baseConfig(scheme noc.Scheme) noc.SynthConfig {
 // empty cells), so callers can write the partial data and still exit
 // nonzero.
 func sweepCSV(cfg sweepConfig) (string, []string) {
-	series := parallel.Map(cfg.jobs, cfg.schemes, func(scheme noc.Scheme) []noc.SynthResult {
-		return noc.SweepLatencyJobs(cfg.baseConfig(scheme), cfg.rates, cfg.jobs)
+	idxs := make([]int, len(cfg.schemes))
+	for j := range idxs {
+		idxs[j] = j
+	}
+	series := parallel.Map(cfg.jobs, idxs, func(j int) []noc.SynthResult {
+		base := cfg.baseConfig(cfg.schemes[j])
+		if cfg.telemetry != nil {
+			cfg.telemetry.instrument(j, &base)
+		}
+		return noc.SweepLatencyJobs(base, cfg.rates, cfg.jobs)
 	})
+	if cfg.telemetry != nil {
+		for j := range series {
+			cfg.telemetry.setCutoff(j, noc.PadCutoff(series[j]))
+		}
+	}
 
 	var b strings.Builder
 	var reports []string

@@ -22,7 +22,7 @@ type Wallclock struct{}
 
 func (Wallclock) Name() string { return "wallclock" }
 func (Wallclock) Doc() string {
-	return "forbid any reference to package time in internal/{faults,invariant,snapshot}"
+	return "forbid any reference to package time in internal/{faults,invariant,snapshot,telemetry}"
 }
 
 // wallclockScoped limits the rule to the cycle-driven packages and the
@@ -32,6 +32,7 @@ func wallclockScoped(path string) bool {
 	return strings.HasSuffix(path, "/internal/faults") ||
 		strings.HasSuffix(path, "/internal/invariant") ||
 		strings.HasSuffix(path, "/internal/snapshot") ||
+		strings.HasSuffix(path, "/internal/telemetry") ||
 		strings.HasSuffix(path, "/testdata/src/wallclock")
 }
 

@@ -73,6 +73,12 @@ type channel struct {
 	cur, next transit //nocvet:buffered
 	// creditNext carries VC-free indices flowing back to the source.
 	creditNext []int //nocvet:buffered
+	// flits counts regular flit launches onto this link over the run
+	// (per-link utilisation telemetry). Written only by the link's
+	// source router — which belongs to exactly one shard, the same
+	// ownership argument that makes next safe — and read only by serial
+	// window-close code, so it needs no per-shard cell.
+	flits int64 //nocvet:ignore phasesafe unique writer: only the link's source router's shard increments it
 }
 
 // Params configures a network build.
@@ -266,6 +272,7 @@ func (n *Network) SendFlit(linkID int, f message.Flit, outVC int) {
 		tr.sum = message.Checksum(tr.payload)
 	}
 	ch.next = tr
+	ch.flits++
 	n.FlitsOnLinks++
 	n.markChannel(linkID)
 }
@@ -649,6 +656,10 @@ func (n *Network) NumChannels() int { return len(n.channels) }
 
 // ChannelLink returns the topology link a channel index corresponds to.
 func (n *Network) ChannelLink(i int) topology.Link { return n.channels[i].link }
+
+// LinkFlits reports the regular flits ever driven onto channel i (the
+// per-link utilisation counter behind the telemetry link heatmap).
+func (n *Network) LinkFlits(i int) int64 { return n.channels[i].flits }
 
 // ChannelCarries reports whether channel i currently holds a flit for
 // downstream VC vc in either pipeline stage (latch or wire). While it

@@ -83,6 +83,10 @@ func (e *shardEnv) SendFlit(linkID int, f message.Flit, outVC int) {
 		tr.sum = message.Checksum(tr.payload)
 	}
 	ch.next = tr
+	// The per-link counter stays a plain field even here: this link's
+	// next stage — and so this call — belongs exclusively to the source
+	// router's shard (the unique-writer argument above).
+	ch.flits++
 	e.sh.flits++
 	e.sh.mark(linkID)
 }

@@ -59,6 +59,7 @@ func (n *Network) SnapshotState(w *snapshot.Writer) {
 		for _, vc := range ch.creditNext {
 			w.Int(vc)
 		}
+		w.I64(ch.flits)
 	}
 	w.Int(len(n.claimedLinks))
 	for _, id := range n.claimedLinks {
@@ -133,6 +134,7 @@ func (n *Network) RestoreState(r *snapshot.Reader) {
 		for i := 0; i < k && r.Err() == nil; i++ {
 			ch.creditNext = append(ch.creditNext, r.Int())
 		}
+		ch.flits = r.I64()
 	}
 	k := r.Int()
 	n.claimedLinks = n.claimedLinks[:0]
@@ -211,7 +213,7 @@ func init() {
 			"deferEject",
 		})
 	snapshot.Register("network.channel", channel{},
-		[]string{"cur", "next", "creditNext"},
+		[]string{"cur", "next", "creditNext", "flits"},
 		[]string{"link"})
 	snapshot.Register("network.transit", transit{},
 		[]string{"flit", "vc", "valid", "payload", "sum"},

@@ -1,0 +1,192 @@
+// Package obs is the live observation endpoint for long runs: an HTTP
+// server exposing the latest telemetry window as a Prometheus-style
+// text page (/metrics), a server-sent-event stream of window records
+// (/events), Go runtime counters (/debug/vars) and the standard pprof
+// handlers (/debug/pprof/).
+//
+// The server must never perturb the simulation — that is the whole
+// design. The simulator publishes into the server through one method,
+// Publish, called from the serial window-close path; it copies the
+// emitted bytes under a lock and returns. Handlers serve only those
+// copies and never touch simulator state, so an aggressive scraper
+// changes nothing about the run (the determinism tests compare run
+// output with and without a polling client byte for byte). Publish
+// never blocks on slow readers: SSE clients that fall behind the
+// fixed-size event ring simply miss windows.
+package obs
+
+import (
+	"context"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// eventRing is the number of recent window records kept for SSE
+// catch-up. A client that lags more than this many windows skips ahead.
+const eventRing = 256
+
+// Process-wide expvars (package-level so repeated server construction
+// in one process — tests, sweep drivers — never re-registers a name,
+// which expvar treats as fatal).
+var (
+	pubWindows = expvar.NewInt("noc.windows_published")
+	pubCycle   = expvar.NewInt("noc.cycle")
+)
+
+// Server is one observation endpoint. Create with New, feed with
+// Publish, shut down with Close.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	seq    int64 // total records published
+	events [eventRing][]byte
+	prom   []byte
+	meta   string
+	closed bool
+}
+
+// New starts an observation server on addr (host:port; an empty host
+// binds all interfaces, port 0 picks a free one). The returned server
+// is already serving.
+func New(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln}
+	s.cond = sync.NewCond(&s.mu)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/events", s.handleEvents)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		// ErrServerClosed after Close; anything else means the listener
+		// died under us, which observation must swallow, not propagate.
+		_ = s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr reports the bound address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// SetMeta records the run identity line served at the index page.
+func (s *Server) SetMeta(meta string) {
+	s.mu.Lock()
+	s.meta = meta
+	s.mu.Unlock()
+}
+
+// Publish hands the server one closed window: the record's JSONL line
+// and the full Prometheus page. Both slices are owned by the caller and
+// reused after return, so the server copies them under its lock. This
+// is the only simulator-facing method; it never blocks on clients.
+func (s *Server) Publish(cycle int64, jsonl, prom []byte) {
+	for len(jsonl) > 0 && jsonl[len(jsonl)-1] == '\n' {
+		jsonl = jsonl[:len(jsonl)-1] // SSE frames add their own terminator
+	}
+	pubCycle.Set(cycle)
+	pubWindows.Add(1)
+	s.mu.Lock()
+	s.events[s.seq%eventRing] = append(s.events[s.seq%eventRing][:0], jsonl...)
+	s.prom = append(s.prom[:0], prom...)
+	s.seq++
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// Close stops accepting connections and wakes every SSE stream.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	return s.srv.Close()
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	s.mu.Lock()
+	meta, seq := s.meta, s.seq
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "noc observation endpoint\n%s\nwindows published: %d\n\n"+
+		"/metrics      Prometheus text page (latest window)\n"+
+		"/events       SSE stream of window records (JSONL payloads)\n"+
+		"/debug/vars   expvar JSON\n"+
+		"/debug/pprof  Go profiling\n", meta, seq)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	page := append([]byte(nil), s.prom...)
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if len(page) == 0 {
+		fmt.Fprint(w, "# no window closed yet\n")
+		return
+	}
+	_, _ = w.Write(page)
+}
+
+// handleEvents streams window records as server-sent events. Each event
+// carries one JSONL record as its data payload and the record sequence
+// number as its id. The stream starts at the oldest retained record and
+// follows publishes until the client disconnects or the server closes.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	// Wake the cond wait when the client goes away, so the stream
+	// goroutine exits promptly instead of parking until the next window.
+	stop := context.AfterFunc(r.Context(), s.cond.Broadcast)
+	defer stop()
+
+	next := int64(0)
+	for {
+		s.mu.Lock()
+		for next >= s.seq && !s.closed && r.Context().Err() == nil {
+			s.cond.Wait()
+		}
+		if s.closed || r.Context().Err() != nil {
+			s.mu.Unlock()
+			return
+		}
+		if next < s.seq-eventRing {
+			next = s.seq - eventRing // fell behind; skip ahead
+		}
+		payload := append([]byte(nil), s.events[next%eventRing]...)
+		id := next
+		next++
+		s.mu.Unlock()
+
+		if _, err := fmt.Fprintf(w, "id: %d\ndata: %s\n\n", id, payload); err != nil {
+			return
+		}
+		fl.Flush()
+	}
+}

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestMetricsAndIndexServeLatestPublish(t *testing.T) {
+	s, err := New("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.SetMeta("scheme=FastPass rate=0.05")
+	base := "http://" + s.Addr()
+
+	if code, body := get(t, base+"/metrics"); code != 200 || !strings.Contains(body, "no window closed yet") {
+		t.Errorf("empty /metrics: code=%d body=%q", code, body)
+	}
+	s.Publish(100, []byte(`{"window":0}`+"\n"), []byte("noc_cycle 100\n"))
+	s.Publish(200, []byte(`{"window":1}`+"\n"), []byte("noc_cycle 200\n"))
+	if code, body := get(t, base+"/metrics"); code != 200 || body != "noc_cycle 200\n" {
+		t.Errorf("/metrics: code=%d body=%q, want latest page", code, body)
+	}
+	if code, body := get(t, base+"/"); code != 200 || !strings.Contains(body, "windows published: 2") {
+		t.Errorf("index: code=%d body=%q", code, body)
+	}
+	if code, body := get(t, base+"/debug/vars"); code != 200 || !strings.Contains(body, "noc.windows_published") {
+		t.Errorf("/debug/vars: code=%d body=%q", code, body)
+	}
+	if code, _ := get(t, base+"/nope"); code != 404 {
+		t.Errorf("unknown path: code=%d, want 404", code)
+	}
+}
+
+// TestEventsStreamDeliversPublishes subscribes before any publish,
+// publishes two windows, and expects both as SSE events in order.
+func TestEventsStreamDeliversPublishes(t *testing.T) {
+	s, err := New("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	resp, err := http.Get("http://" + s.Addr() + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	type ev struct {
+		id, data string
+	}
+	events := make(chan ev, 4)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		var cur ev
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "id: "):
+				cur.id = strings.TrimPrefix(line, "id: ")
+			case strings.HasPrefix(line, "data: "):
+				cur.data = strings.TrimPrefix(line, "data: ")
+			case line == "" && cur.data != "":
+				events <- cur
+				cur = ev{}
+			}
+		}
+	}()
+
+	// Give the handler a beat to park in its cond wait, then publish.
+	time.Sleep(20 * time.Millisecond)
+	s.Publish(50, []byte(`{"window":0,"cycle":50}`+"\n"), []byte("p0\n"))
+	s.Publish(100, []byte(`{"window":1,"cycle":100}`+"\n"), []byte("p1\n"))
+
+	for i, want := range []ev{
+		{id: "0", data: `{"window":0,"cycle":50}`},
+		{id: "1", data: `{"window":1,"cycle":100}`},
+	} {
+		select {
+		case got := <-events:
+			if got != want {
+				t.Errorf("event %d: got %+v, want %+v", i, got, want)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out waiting for event %d", i)
+		}
+	}
+}
+
+// TestPublishNeverBlocksOnStalledClient opens an SSE stream, never
+// reads it, and floods publishes well past every buffer in the path.
+// Publish must stay non-blocking — the stalled client just misses
+// windows.
+func TestPublishNeverBlocksOnStalledClient(t *testing.T) {
+	s, err := New("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	resp, err := http.Get("http://" + s.Addr() + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close() // deliberately never read from it
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		line := []byte(fmt.Sprintf(`{"pad":%q}`, strings.Repeat("x", 4096)) + "\n")
+		for i := 0; i < 4*eventRing; i++ {
+			s.Publish(int64(i), line, []byte("p\n"))
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Publish blocked on a stalled SSE client")
+	}
+}

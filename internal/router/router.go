@@ -132,6 +132,14 @@ type Router struct {
 	// active-set scheduler skip it.
 	resident int
 
+	// FlitsRouted counts flits moved through the crossbar over the
+	// router's lifetime; SwitchStalls counts (cycle, input port) pairs
+	// where a nominated flit lost switch allocation. Both are cumulative
+	// telemetry counters: written only by this router's Step (one shard),
+	// read only by serial window-close code, and part of the checkpoint.
+	FlitsRouted  int64
+	SwitchStalls int64
+
 	saInArb  []*RRArbiter // stage 1: per input port over VCs
 	saOutArb []*RRArbiter // stage 2: per output port over input ports
 	portTie  *RRArbiter   // adaptive output-port tie-break
@@ -261,6 +269,25 @@ func (r *Router) MarkVCFree(port topology.Direction, vc int) { r.vcFree[port][vc
 // unoccupied router's Step cannot change any state (see DESIGN.md §9),
 // so the network skips it.
 func (r *Router) Occupied() bool { return r.resident > 0 }
+
+// Resident reports the packets currently buffered across all VCs
+// (telemetry's in-network population gauge).
+func (r *Router) Resident() int { return r.resident }
+
+// VCOccupancy reports the packets buffered in network VC gvc across all
+// network input ports (injection queues excluded). Telemetry samples it
+// per window to expose lane-utilisation skew — e.g. traffic piling onto
+// the escape VC.
+func (r *Router) VCOccupancy(gvc int) int {
+	c := 0
+	for p := 1; p < len(r.Inputs); p++ {
+		vcs := r.Inputs[p].VCs
+		if gvc < len(vcs) {
+			c += vcs[gvc].Len()
+		}
+	}
+	return c
+}
 
 // wake notifies the scheduler that this router holds work.
 func (r *Router) wake() { r.Env.WakeRouter(r.ID) }
@@ -481,6 +508,14 @@ func (r *Router) switchAllocate() {
 		granted[winner] = true
 		r.transmit(topology.Direction(winner), nominee[winner])
 	}
+	// An input whose nominated flit no output granted spent the cycle
+	// stalled in switch allocation — the contention signal the telemetry
+	// windows track.
+	for p := 0; p < nPorts; p++ {
+		if nominee[p] >= 0 && !granted[p] {
+			r.SwitchStalls++
+		}
+	}
 }
 
 // sendable reports whether the VC's head entry can move a flit this
@@ -511,6 +546,7 @@ func (r *Router) transmit(in topology.Direction, vc int) {
 	outVC := e.OutVC
 	isHead := e.Sent == 0
 	flit, done := buf.SendFlit(cycle)
+	r.FlitsRouted++
 	if isHead && in == topology.Local && pkt.InjectTime < 0 {
 		pkt.InjectTime = cycle
 	}

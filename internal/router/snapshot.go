@@ -73,6 +73,8 @@ func (rt *Router) SnapshotState(w *snapshot.Writer) {
 		w.Int(a.next)
 	}
 	w.Int(rt.portTie.next)
+	w.I64(rt.FlitsRouted)
+	w.I64(rt.SwitchStalls)
 }
 
 // RestoreState decodes into a freshly built router.
@@ -97,6 +99,8 @@ func (rt *Router) RestoreState(r *snapshot.Reader) {
 		a.next = r.Int()
 	}
 	rt.portTie.next = r.Int()
+	rt.FlitsRouted = r.I64()
+	rt.SwitchStalls = r.I64()
 }
 
 func init() {
@@ -107,6 +111,7 @@ func init() {
 			// Resident pointer (one increment per rebuilt entry).
 			"resident",
 			"saInArb", "saOutArb", "portTie",
+			"FlitsRouted", "SwitchStalls",
 		},
 		[]string{
 			// Wiring and sizing from New.

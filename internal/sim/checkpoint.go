@@ -45,6 +45,9 @@ func encodeSynthConfig(w *snapshot.Writer, cfg SynthConfig) {
 	w.Int(cfg.HotspotNode)
 	w.F64(cfg.HotspotFraction)
 	w.I64(cfg.CheckpointEvery)
+	w.I64(cfg.Telemetry.Window)
+	w.Int(cfg.Telemetry.Retain)
+	w.I64(cfg.ProgressEvery)
 }
 
 func decodeSynthConfig(r *snapshot.Reader) SynthConfig {
@@ -75,6 +78,9 @@ func decodeSynthConfig(r *snapshot.Reader) SynthConfig {
 	cfg.HotspotNode = r.Int()
 	cfg.HotspotFraction = r.F64()
 	cfg.CheckpointEvery = r.I64()
+	cfg.Telemetry.Window = r.I64()
+	cfg.Telemetry.Retain = r.Int()
+	cfg.ProgressEvery = r.I64()
 	return cfg
 }
 
@@ -92,6 +98,10 @@ func (s *synthRun) checkpoint() []byte {
 	w.I64(s.corrupted)
 	s.gen.SnapshotState(w)
 	s.col.SnapshotState(w)
+	w.Bool(s.tel != nil)
+	if s.tel != nil {
+		s.tel.SnapshotState(w)
+	}
 	w.Bool(s.inst.Trace != nil)
 	if s.inst.Trace != nil {
 		s.inst.Trace.SnapshotState(w)
@@ -130,6 +140,11 @@ func (s *synthRun) restore(data []byte) error {
 	s.corrupted = r.I64()
 	s.gen.RestoreState(r)
 	s.col.RestoreState(r)
+	if had := r.Bool(); had != (s.tel != nil) {
+		return fmt.Errorf("sim: checkpoint telemetry presence %v but instance has %v (Telemetry.Window must match the recorded config)", had, s.tel != nil)
+	} else if had {
+		s.tel.RestoreState(r)
+	}
 	if had := r.Bool(); had != (s.inst.Trace != nil) {
 		return fmt.Errorf("sim: checkpoint trace presence %v but instance has %v", had, s.inst.Trace != nil)
 	} else if had {
@@ -198,8 +213,9 @@ func ValidateShards(shards, nodes int) error {
 func init() {
 	snapshot.Register("sim.SynthConfig", SynthConfig{},
 		[]string{"Options", "Pattern", "Rate", "Warmup", "Measure", "Drain",
-			"SatLatency", "HotspotNode", "HotspotFraction", "CheckpointEvery"},
-		[]string{"OnCheckpoint"})
+			"SatLatency", "HotspotNode", "HotspotFraction", "CheckpointEvery",
+			"Telemetry", "ProgressEvery"},
+		[]string{"OnCheckpoint", "OnProgress", "Instrument"})
 	snapshot.Register("sim.Options", Options{},
 		[]string{"Scheme", "W", "H", "VCs", "EjectCap", "Seed", "DrainPeriod",
 			"SwapDuty", "SpinThreshold", "FastPassK", "FPScanInjectionOnly",
@@ -211,7 +227,7 @@ func init() {
 		// faults, NICs and routers); trace/watch/pool encode via their
 		// own sections.
 		[]string{"src", "created", "delivered", "corrupted", "gen", "col",
-			"inst", "pool"},
+			"inst", "pool", "tel"},
 		[]string{"cfg", "rng"})
 	snapshot.Register("sim.Instance", Instance{},
 		// Net/Deflect are the roots; FP, Pit and Faults are reached

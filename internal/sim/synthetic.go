@@ -9,6 +9,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/snapshot"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/traffic"
 )
 
@@ -40,6 +41,24 @@ type SynthConfig struct {
 	// the run bit-identically, including in a fresh process.
 	CheckpointEvery int64
 	OnCheckpoint    func(cycle int64, blob []byte)
+
+	// Telemetry enables the windowed metrics subsystem when its Window
+	// is positive (DESIGN.md §14). Window and Retain travel in the
+	// checkpoint config — a resumed run keeps the original boundaries —
+	// while the sinks are transient and re-attached by the driver.
+	Telemetry telemetry.Options
+
+	// ProgressEvery, when positive, invokes OnProgress every that many
+	// cycles with a deterministic status sample. The hook is transient
+	// (never checkpointed) and must not mutate simulation state.
+	ProgressEvery int64
+	OnProgress    func(Progress)
+
+	// Instrument, when set, runs once per built run — after defaults
+	// resolve, before the instance is constructed — so a driver can
+	// attach per-run telemetry sinks to a config it fans out across
+	// workers (the sweep command wires per-point buffers this way).
+	Instrument func(cfg *SynthConfig)
 }
 
 func (c *SynthConfig) setDefaults() {
@@ -113,6 +132,7 @@ type synthRun struct {
 	rng  *rand.Rand
 	src  *snapshot.CountingSource
 	pool *message.Pool
+	tel  *telemetry.Metrics // nil unless cfg.Telemetry.Window > 0
 
 	created, delivered, corrupted int64
 }
@@ -120,6 +140,9 @@ type synthRun struct {
 // newSynthRun builds the instance and wires the harness around it.
 func newSynthRun(cfg SynthConfig) *synthRun {
 	cfg.setDefaults()
+	if cfg.Instrument != nil {
+		cfg.Instrument(&cfg)
+	}
 	s := &synthRun{cfg: cfg}
 	s.inst = Build(cfg.Options)
 	s.col = stats.New(cfg.W*cfg.H, int64(cfg.Warmup), int64(cfg.Warmup+cfg.Measure))
@@ -129,6 +152,7 @@ func newSynthRun(cfg SynthConfig) *synthRun {
 			s.corrupted++
 		}
 		s.col.OnEject(pkt)
+		s.tel.ObserveLatency(pkt.Latency())
 	})
 	s.pool = s.inst.UsePool()
 	s.gen = &traffic.Generator{
@@ -138,6 +162,7 @@ func newSynthRun(cfg SynthConfig) *synthRun {
 	}
 	s.src = snapshot.NewCountingSource(cfg.Seed + 0x5eed)
 	s.rng = rand.New(s.src)
+	s.tel = attachTelemetry(s)
 	return s
 }
 
@@ -159,8 +184,20 @@ func (s *synthRun) run() SynthResult {
 			inst.Enqueue(pkt)
 		}
 		inst.Step()
+		// inst.Cycle() is now the completed-cycle count; the window
+		// clock and the progress stride both key off it, in the serial
+		// stretch between Steps where every shard effect has merged.
+		s.tel.Tick(inst.Cycle())
+		if cfg.ProgressEvery > 0 && cfg.OnProgress != nil && inst.Cycle()%cfg.ProgressEvery == 0 {
+			cfg.OnProgress(Progress{
+				Cycle: inst.Cycle(), Total: total,
+				Created: s.created, Delivered: s.delivered,
+				InFlight: s.created - s.delivered,
+			})
+		}
 		aborted = inst.Watch != nil && inst.Watch.Tripped()
 	}
+	s.tel.Finish(inst.Cycle())
 	return s.result()
 }
 
@@ -265,22 +302,37 @@ func SweepLatencyJobs(base SynthConfig, rates []float64, jobs int) []SynthResult
 	return out
 }
 
-// padPostSaturation rewrites every point two past the first sustained
-// saturation as a padded point. It recomputes the early-stop rule from
-// the measured results, so it reaches the same cutoff whether the tail
-// was skipped (serial) or speculatively simulated (parallel).
-func padPostSaturation(base SynthConfig, rates []float64, out []SynthResult) {
+// PadCutoff reports the index of the first padded point in a sweep
+// result: everything from it on lies two past the first sustained
+// saturation and was (or would have been) skipped by the serial
+// early-stop rule. len(out) means no point is padding. Drivers that
+// attach per-point side channels (telemetry streams) use it to drop
+// the channels of speculatively simulated tail points, so serial and
+// parallel sweeps emit identical bytes. The rule is a pure function of
+// the Saturated flags, so calling it again on a padded slice reaches
+// the same cutoff.
+func PadCutoff(out []SynthResult) int {
 	saturatedFor := 0
 	for i := range out {
 		if saturatedFor >= 2 {
-			out[i] = paddedPoint(base, rates[i])
-			continue
+			return i
 		}
 		if out[i].Saturated {
 			saturatedFor++
 		} else {
 			saturatedFor = 0
 		}
+	}
+	return len(out)
+}
+
+// padPostSaturation rewrites every point two past the first sustained
+// saturation as a padded point. It recomputes the early-stop rule from
+// the measured results, so it reaches the same cutoff whether the tail
+// was skipped (serial) or speculatively simulated (parallel).
+func padPostSaturation(base SynthConfig, rates []float64, out []SynthResult) {
+	for i := PadCutoff(out); i < len(out); i++ {
+		out[i] = paddedPoint(base, rates[i])
 	}
 }
 

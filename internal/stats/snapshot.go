@@ -35,6 +35,10 @@ func (c *Collector) SnapshotState(w *snapshot.Writer) {
 	for _, v := range c.perClassEjects {
 		w.I64(v)
 	}
+	w.I64(c.allEjects)
+	w.I64(c.allFlits)
+	w.I64(c.allLatSum)
+	w.I64(c.allLatSamples)
 }
 
 // RestoreState decodes into a collector built with the same window.
@@ -54,13 +58,18 @@ func (c *Collector) RestoreState(r *snapshot.Reader) {
 	for i := range c.perClassEjects {
 		c.perClassEjects[i] = r.I64()
 	}
+	c.allEjects = r.I64()
+	c.allFlits = r.I64()
+	c.allLatSum = r.I64()
+	c.allLatSamples = r.I64()
 }
 
 func init() {
 	snapshot.Register("stats.Collector", Collector{},
 		[]string{"latencies", "fastTime", "regTime", "regOnly", "created",
 			"ejectedWindow", "flitsWindow", "regularPkts", "fastPkts",
-			"droppedPkts", "perClassEjects"},
+			"droppedPkts", "perClassEjects",
+			"allEjects", "allFlits", "allLatSum", "allLatSamples"},
 		[]string{"Nodes", "MeasStart", "MeasEnd", "sorted", "sortedStale"})
 }
 

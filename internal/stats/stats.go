@@ -39,6 +39,16 @@ type Collector struct {
 	fastPkts       int64
 	droppedPkts    int64
 	perClassEjects [message.NumClasses]int64
+
+	// Run-lifetime accumulators, counted on every ejection regardless of
+	// the measurement window. These back the windowed telemetry readout
+	// (WindowCounters), which needs monotone cumulative values it can
+	// delta per window — the [MeasStart, MeasEnd) gate above would leave
+	// warmup and drain windows empty.
+	allEjects     int64
+	allFlits      int64
+	allLatSum     int64
+	allLatSamples int64
 }
 
 // New creates a collector for a network of the given size measuring the
@@ -61,6 +71,10 @@ func (c *Collector) OnCreate(pkt *message.Packet) {
 
 // OnEject observes a packet leaving the network.
 func (c *Collector) OnEject(pkt *message.Packet) {
+	c.allEjects++
+	c.allFlits += int64(pkt.Len)
+	c.allLatSum += pkt.Latency()
+	c.allLatSamples++
 	if c.inWindow(pkt.EjectTime) {
 		c.ejectedWindow++
 		c.flitsWindow += int64(pkt.Len)
@@ -160,6 +174,25 @@ func (c *Collector) FastSplit() (regular, fast float64) {
 
 // ClassEjects reports packets of a class ejected in the window.
 func (c *Collector) ClassEjects(cl message.Class) int64 { return c.perClassEjects[cl] }
+
+// Cumulative is the run-lifetime readout behind windowed telemetry:
+// monotone counters over every ejection, independent of the measurement
+// window, so a telemetry layer can delta them per window without
+// duplicating the collector's accounting.
+type Cumulative struct {
+	Ejects, Flits      int64
+	LatSum, LatSamples int64
+}
+
+// WindowCounters reports the run-lifetime cumulative counters.
+func (c *Collector) WindowCounters() Cumulative {
+	return Cumulative{
+		Ejects:     c.allEjects,
+		Flits:      c.allFlits,
+		LatSum:     c.allLatSum,
+		LatSamples: c.allLatSamples,
+	}
+}
 
 func mean(xs []int64) float64 {
 	if len(xs) == 0 {

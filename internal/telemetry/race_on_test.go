@@ -1,0 +1,7 @@
+//go:build race
+
+package telemetry
+
+// raceEnabled mirrors the root test helper: allocation-count guards
+// skip under race instrumentation.
+const raceEnabled = true

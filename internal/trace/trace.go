@@ -177,6 +177,19 @@ func (r *Recorder) WriteJSON(w io.Writer) error {
 	return enc.Encode(r.Events())
 }
 
+// WriteJSONL renders the retained events as JSON Lines — one event
+// object per line, the same encoding WriteJSON uses per element, ready
+// to concatenate with other streams or feed line-oriented tools.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range r.Events() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Summary renders per-kind totals.
 func (r *Recorder) Summary() string {
 	if r == nil {

@@ -22,6 +22,7 @@ import (
 	"repro/internal/invariant"
 	"repro/internal/powerarea"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/traffic"
 	"repro/internal/workload"
 )
@@ -73,8 +74,26 @@ type (
 	AppResult   = sim.AppResult
 )
 
+// Progress is the periodic status sample handed to
+// SynthConfig.OnProgress during long runs.
+type Progress = sim.Progress
+
+// TelemetryOptions configures a run's windowed telemetry (the
+// SynthConfig.Telemetry field); TelemetryMeta is the stream identity
+// line. See the telemetry package for the record format and the
+// determinism contract.
+type (
+	TelemetryOptions = telemetry.Options
+	TelemetryMeta    = telemetry.Meta
+)
+
 // RunSynthetic executes one synthetic-traffic measurement point.
 func RunSynthetic(cfg SynthConfig) SynthResult { return sim.RunSynthetic(cfg) }
+
+// PadCutoff reports the index of the first padded (post-saturation)
+// point in a sweep result; drivers use it to drop side channels of
+// speculatively simulated tail points.
+func PadCutoff(out []SynthResult) int { return sim.PadCutoff(out) }
 
 // OpenCheckpoint validates a checkpoint blob (produced through
 // SynthConfig.CheckpointEvery/OnCheckpoint) and returns the embedded
