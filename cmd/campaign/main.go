@@ -1,0 +1,374 @@
+// Command campaign runs a Monte Carlo reliability campaign: one fault
+// plan replayed over a (variant × fault-scale × seed) grid, aggregated
+// into per-variant degradation curves — delivered-fraction percentiles,
+// watchdog-trip and MTTF-to-deadlock statistics. The FastPass-static /
+// FastPass-healing variant pair is the self-healing experiment: the
+// same seeded silicon failures, with and without online lane
+// re-derivation.
+//
+// Usage:
+//
+//	campaign -faults 'linkfail:rate=2e-4,dur=64,perm' -runs 50 -scales 0,0.5,1
+//	campaign -variants FastPass-static,FastPass-healing,EscapeVC \
+//	    -faults 'linkfail:link=12,at=5000,perm' -runs 100 \
+//	    -journal camp.jsonl -out curves.csv -j 8
+//	campaign ... -journal camp.jsonl -resume        # continue after an interrupt
+//	campaign ... -obs :9090                         # live progress endpoint
+//
+// The curve CSV goes to -out (stdout when unset). With -journal every
+// cell's record is appended to a JSONL file the moment it completes, so
+// an interrupted campaign loses at most the in-flight cells; -resume
+// reads that journal back and re-simulates only the missing cells. Both
+// files are deterministic: byte-identical at any -j, and an interrupted
+// + resumed campaign reproduces the uninterrupted files exactly.
+//
+// With -obs the command serves live progress over HTTP (Prometheus
+// text at /metrics, record stream at /events) without perturbing the
+// simulations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/noc"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("campaign: ")
+
+	variants := flag.String("variants", "FastPass-static,FastPass-healing", "comma-separated variant list (scheme names plus FastPass-static/FastPass-healing)")
+	patternName := flag.String("pattern", "Uniform", "synthetic pattern")
+	size := flag.Int("size", 8, "mesh dimension")
+	rate := flag.Float64("rate", 0.05, "injection rate (flits/node/cycle)")
+	runs := flag.Int("runs", 20, "Monte Carlo population: seeds 1..N per (variant, scale) cell")
+	seeds := flag.String("seeds", "", "explicit comma-separated seed list (overrides -runs)")
+	scales := flag.String("scales", "0,1", "comma-separated fault-plan intensity multipliers; 0 is the fault-free control")
+	faultSpec := flag.String("faults", "", "fault-injection plan, e.g. 'linkfail:rate=2e-4,dur=64,perm;creditloss:rate=1e-5'")
+	watchdog := flag.String("watchdog", "on", "invariant watchdogs: on, off, or tuning clauses")
+	warmup := flag.Int("warmup", 0, "warmup cycles (0 = simulator default)")
+	measure := flag.Int("measure", 0, "measurement cycles (0 = simulator default)")
+	drain := flag.Int("drain", 0, "drain cycles (0 = simulator default)")
+	jobs := flag.Int("j", 0, "parallel workers (0 = one per core, 1 = serial)")
+	out := flag.String("out", "", "degradation-curve CSV path (empty = stdout)")
+	journal := flag.String("journal", "", "per-cell JSONL journal path, appended as cells complete")
+	resume := flag.Bool("resume", false, "reuse records already in -journal instead of re-simulating them")
+	obsAddr := flag.String("obs", "", "serve live progress over HTTP on this address (host:port)")
+	progress := flag.Bool("progress", false, "log each completed cell to stderr")
+	flag.Parse()
+
+	cfg, err := validateFlags(flagValues{
+		variants: *variants, pattern: *patternName, size: *size, rate: *rate,
+		runs: *runs, seeds: *seeds, scales: *scales,
+		faults: *faultSpec, watchdog: *watchdog,
+		warmup: *warmup, measure: *measure, drain: *drain, jobs: *jobs,
+		out: *out, journal: *journal, resume: *resume,
+		obsAddr: *obsAddr, progress: *progress,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := runCampaign(cfg, os.Stdout, os.Stderr); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// flagValues captures every raw flag exactly as the user typed it, so
+// validation is one testable function instead of checks scattered
+// through main.
+type flagValues struct {
+	variants, pattern      string
+	size                   int
+	rate                   float64
+	runs                   int
+	seeds, scales          string
+	faults, watchdog       string
+	warmup, measure, drain int
+	jobs                   int
+	out, journal           string
+	resume                 bool
+	obsAddr                string
+	progress               bool
+}
+
+// runConfig is a fully-validated campaign invocation.
+type runConfig struct {
+	camp     noc.CampaignConfig
+	out      string // curve CSV path; "" = stdout
+	journal  string
+	resume   bool
+	obsAddr  string
+	progress bool
+}
+
+// validateFlags turns raw flag values into a fully-validated runConfig,
+// or an error that names the offending flag. Every cross-flag rule
+// lives here: -resume needs -journal, nonzero -scales need -faults
+// (checked by the campaign config itself), seeds must be unique.
+func validateFlags(fv flagValues) (runConfig, error) {
+	vars, err := noc.ParseCampaignVariants(fv.variants)
+	if err != nil {
+		return runConfig{}, fmt.Errorf("-variants: %v", err)
+	}
+	pattern, err := parsePattern(fv.pattern)
+	if err != nil {
+		return runConfig{}, fmt.Errorf("-pattern: %v", err)
+	}
+	if fv.size <= 0 {
+		return runConfig{}, fmt.Errorf("-size %d must be positive", fv.size)
+	}
+	if fv.rate <= 0 {
+		return runConfig{}, fmt.Errorf("-rate %v must be positive", fv.rate)
+	}
+	seedList, err := parseSeeds(fv.seeds, fv.runs)
+	if err != nil {
+		return runConfig{}, err
+	}
+	scaleList, err := parseScales(fv.scales)
+	if err != nil {
+		return runConfig{}, fmt.Errorf("-scales: %v", err)
+	}
+	if _, err := noc.ParseFaultPlan(fv.faults); err != nil {
+		return runConfig{}, fmt.Errorf("-faults: %v", err)
+	}
+	if _, _, err := noc.ParseWatchdogSpec(fv.watchdog); err != nil {
+		return runConfig{}, fmt.Errorf("-watchdog: %v", err)
+	}
+	if fv.warmup < 0 || fv.measure < 0 || fv.drain < 0 {
+		return runConfig{}, fmt.Errorf("-warmup/-measure/-drain must be non-negative")
+	}
+	if fv.resume && fv.journal == "" {
+		return runConfig{}, fmt.Errorf("-resume reuses a journal; pass its path with -journal")
+	}
+	camp := noc.CampaignConfig{
+		Base: noc.SynthConfig{
+			Options: noc.Options{
+				W: fv.size, H: fv.size, DrainPeriod: 8192,
+				Faults: fv.faults, Watchdog: fv.watchdog,
+			},
+			Pattern: pattern,
+			Rate:    fv.rate,
+			Warmup:  fv.warmup, Measure: fv.measure, Drain: fv.drain,
+		},
+		Variants: vars,
+		Scales:   scaleList,
+		Seeds:    seedList,
+		Jobs:     fv.jobs,
+	}
+	if err := camp.Validate(); err != nil {
+		return runConfig{}, err
+	}
+	return runConfig{
+		camp: camp, out: fv.out, journal: fv.journal, resume: fv.resume,
+		obsAddr: fv.obsAddr, progress: fv.progress,
+	}, nil
+}
+
+// parsePattern resolves a synthetic pattern by name.
+func parsePattern(name string) (noc.Pattern, error) {
+	for _, p := range noc.Patterns() {
+		if p.String() == name {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown pattern %q", name)
+}
+
+// parseSeeds builds the Monte Carlo seed axis: an explicit -seeds list
+// when given (unique entries), otherwise seeds 1..runs.
+func parseSeeds(list string, runs int) ([]int64, error) {
+	if list == "" {
+		if runs <= 0 {
+			return nil, fmt.Errorf("-runs %d must be positive (or pass -seeds)", runs)
+		}
+		seeds := make([]int64, runs)
+		for i := range seeds {
+			seeds[i] = int64(i + 1)
+		}
+		return seeds, nil
+	}
+	var seeds []int64
+	seen := map[int64]bool{}
+	for _, raw := range strings.Split(list, ",") {
+		s, err := strconv.ParseInt(strings.TrimSpace(raw), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("-seeds: %q is not an integer", raw)
+		}
+		if seen[s] {
+			return nil, fmt.Errorf("-seeds: duplicate seed %d", s)
+		}
+		seen[s] = true
+		seeds = append(seeds, s)
+	}
+	return seeds, nil
+}
+
+// parseScales parses the -scales list (non-negative, 0 = the
+// fault-free control point).
+func parseScales(list string) ([]float64, error) {
+	var scales []float64
+	for _, raw := range strings.Split(list, ",") {
+		s, err := strconv.ParseFloat(strings.TrimSpace(raw), 64)
+		if err != nil || s < 0 {
+			return nil, fmt.Errorf("fault scale %q must be a non-negative number", raw)
+		}
+		scales = append(scales, s)
+	}
+	return scales, nil
+}
+
+// runCampaign executes a validated campaign end to end: resume map,
+// streamed journal, observation endpoint, final deterministic rewrite
+// of the journal (grid order) and the curve CSV. stdout receives the
+// CSV when -out is unset; stderr receives progress.
+func runCampaign(cfg runConfig, stdout, stderr io.Writer) error {
+	done, err := loadResume(cfg)
+	if err != nil {
+		return err
+	}
+	grid := noc.CampaignGrid(cfg.camp)
+	total := len(grid)
+	completed := 0
+	for _, p := range grid {
+		if _, ok := done[p.Key()]; ok {
+			completed++
+		}
+	}
+	if cfg.resume && completed > 0 {
+		fmt.Fprintf(stderr, "campaign: resuming; %d/%d cells already journaled\n", completed, total)
+	}
+
+	var jf *os.File
+	if cfg.journal != "" {
+		flags := os.O_CREATE | os.O_WRONLY
+		if cfg.resume {
+			flags |= os.O_APPEND
+		} else {
+			flags |= os.O_TRUNC
+		}
+		jf, err = os.OpenFile(cfg.journal, flags, 0o644)
+		if err != nil {
+			return err
+		}
+	}
+
+	var srv *obs.Server
+	if cfg.obsAddr != "" {
+		srv, err = obs.New(cfg.obsAddr)
+		if err != nil {
+			return fmt.Errorf("-obs: %v", err)
+		}
+		defer srv.Close()
+		srv.SetMeta(fmt.Sprintf("reliability campaign: %d cells (%d variants x %d scales x %d seeds), size %dx%d",
+			total, len(cfg.camp.Variants), len(cfg.camp.Scales), len(cfg.camp.Seeds),
+			cfg.camp.Base.W, cfg.camp.Base.H))
+		fmt.Fprintf(stderr, "campaign: observation endpoint on http://%s\n", srv.Addr())
+	}
+
+	// onRecord runs on worker goroutines in completion order; the mutex
+	// serializes the journal appends and the progress accounting. The
+	// streamed journal is crash-durable but unordered — the grid-order
+	// rewrite below is what the determinism contract covers.
+	var mu sync.Mutex
+	var onErr error
+	onRecord := func(r noc.CampaignRecord) {
+		line, err := noc.EncodeCampaignRecord(r)
+		mu.Lock()
+		defer mu.Unlock()
+		completed++
+		if err == nil && jf != nil {
+			if _, werr := jf.Write(append(line, '\n')); werr != nil && onErr == nil {
+				onErr = werr
+			}
+		}
+		if cfg.progress {
+			fmt.Fprintf(stderr, "campaign: %d/%d %s\n", completed, total, r.Key())
+		}
+		if srv != nil {
+			prom := fmt.Appendf(nil, "campaign_cells_total %d\ncampaign_cells_done %d\n", total, completed)
+			srv.Publish(int64(completed), line, prom)
+		}
+	}
+
+	recs, err := noc.RunCampaign(cfg.camp, done, onRecord)
+	if jf != nil {
+		if cerr := jf.Close(); cerr != nil && onErr == nil {
+			onErr = cerr
+		}
+	}
+	if err != nil {
+		return err
+	}
+	if onErr != nil {
+		return fmt.Errorf("journal: %v", onErr)
+	}
+
+	// The campaign is complete: rewrite the journal in grid order so the
+	// file is byte-identical at any -j and across interrupt/resume.
+	if cfg.journal != "" {
+		if err := atomicWrite(cfg.journal, func(w io.Writer) error {
+			return noc.WriteCampaignJournal(w, recs)
+		}); err != nil {
+			return err
+		}
+	}
+	curves, err := noc.AggregateCampaign(cfg.camp, recs)
+	if err != nil {
+		return err
+	}
+	if cfg.out == "" {
+		return noc.WriteCampaignCurvesCSV(stdout, curves)
+	}
+	return atomicWrite(cfg.out, func(w io.Writer) error {
+		return noc.WriteCampaignCurvesCSV(w, curves)
+	})
+}
+
+// loadResume reads the journal into a resume map when -resume is set.
+// A missing journal file is an empty campaign, not an error.
+func loadResume(cfg runConfig) (map[string]noc.CampaignRecord, error) {
+	if !cfg.resume {
+		return nil, nil
+	}
+	f, err := os.Open(cfg.journal)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	done, err := noc.ReadCampaignJournal(f)
+	if err != nil {
+		return nil, fmt.Errorf("-resume: %v", err)
+	}
+	return done, nil
+}
+
+// atomicWrite renders into a sibling temp file and renames it over
+// path, so a crash mid-write never leaves a torn output file.
+func atomicWrite(path string, render func(io.Writer) error) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}

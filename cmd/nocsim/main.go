@@ -44,6 +44,7 @@ func main() {
 	measure := flag.Int("measure", 5000, "measurement cycles")
 	drain := flag.Int("drain", 3000, "drain cycles")
 	faultSpec := flag.String("faults", "", "fault-injection plan, e.g. 'linkfail:rate=1e-4,dur=64;corrupt:rate=1e-5;stallconsumer:node=3,at=500,perm'")
+	fpHealing := flag.Bool("fp-healing", false, "FastPass: re-derive the lane schedule online after permanent link failures (self-healing)")
 	faultScale := flag.Float64("faultscale", 1, "multiplier applied to every rate in the fault plan")
 	watchdog := flag.String("watchdog", "on", "invariant watchdogs: on, off, or 'stride=..,deadlock=..,starve=..,leak=..'")
 	shards := flag.Int("shards", 1, "spatial shards stepping the mesh in parallel (bit-identical to 1; ignored by MinBD)")
@@ -89,9 +90,13 @@ func main() {
 	if err := noc.ValidateShards(*shards, (*size)*(*size)); err != nil {
 		log.Fatal(err)
 	}
+	if *fpHealing && scheme != noc.FastPass {
+		log.Fatalf("-fp-healing is a FastPass configuration; it does not apply to %v", scheme)
+	}
 	opts := noc.Options{
 		Scheme: scheme, W: *size, H: *size, VCs: *vcs, Seed: *seed, DrainPeriod: 8192,
 		Faults: *faultSpec, FaultScale: *faultScale, Watchdog: *watchdog, Shards: *shards,
+		FPHealing: *fpHealing,
 	}
 	if scheme == noc.MinBD {
 		// MinBD's deflection network carries neither the fault injector
@@ -210,6 +215,10 @@ func printSynth(res noc.SynthResult, hadFaults bool) {
 		fmt.Printf("breakdown       regular %.3f / fastpass %.3f / dropped %.4f\n",
 			res.RegularFrac, res.FastFrac, res.DroppedFrac)
 		fmt.Printf("promotions      %d (drops %d)\n", res.Promoted, res.Drops)
+		if res.Heals > 0 || res.HealFails > 0 {
+			fmt.Printf("lane heals      %d re-derivations (%d failed: fabric disconnected)\n",
+				res.Heals, res.HealFails)
+		}
 	}
 	if hadFaults {
 		fmt.Printf("fault totals    %d link fails, %d port stalls, %d consumer stalls, %d credits lost\n",

@@ -62,45 +62,18 @@ func main() {
 	telemetryWindow := flag.Int64("telemetry-window", 1000, "cycles per telemetry window (with -telemetry)")
 	flag.Parse()
 
-	cfg, err := buildConfig(*schemes, *patternName, *size, *seed, *rateMin, *rateMax, *rateStep, *jobs)
+	cfg, err := validateFlags(flagValues{
+		schemes: *schemes, pattern: *patternName, size: *size, seed: *seed,
+		rateMin: *rateMin, rateMax: *rateMax, rateStep: *rateStep, jobs: *jobs,
+		faults: *faultSpec, faultScale: *faultScale, faultScales: *faultScales,
+		watchdog: *watchdog, shards: *shards,
+		telemetryPath: *telemetryPath, telemetryWindow: *telemetryWindow,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := noc.ParseFaultPlan(*faultSpec); err != nil {
-		log.Fatal(err)
-	}
-	if _, _, err := noc.ParseWatchdogSpec(*watchdog); err != nil {
-		log.Fatal(err)
-	}
-	cfg.faults, cfg.faultScale, cfg.watchdog = *faultSpec, *faultScale, *watchdog
-	if err := noc.ValidateShards(*shards, (*size)*(*size)); err != nil {
-		log.Fatal(err)
-	}
-	cfg.shards = *shards
-	if *telemetryWindow <= 0 {
-		log.Fatalf("-telemetry-window %d must be positive", *telemetryWindow)
-	}
-	if *telemetryPath != "" {
-		if *faultScales != "" {
-			log.Fatal("-telemetry does not apply to the resilience experiment")
-		}
-		cfg.telemetry = newTelemetrySink(cfg, *telemetryWindow)
-	}
 
-	if *faultScales != "" {
-		if *faultSpec == "" {
-			log.Fatal("-fault-scales requires -faults")
-		}
-		scales, err := parseScales(*faultScales)
-		if err != nil {
-			log.Fatal(err)
-		}
-		for _, s := range cfg.schemes {
-			if s == noc.MinBD {
-				log.Fatal("the resilience experiment does not support MinBD (no links, credits or NICs to degrade)")
-			}
-		}
-		cfg.scales = scales
+	if len(cfg.scales) > 0 {
 		csv, reports := resilienceCSV(cfg)
 		fmt.Print(csv)
 		for _, r := range reports {
@@ -122,6 +95,72 @@ func main() {
 	if len(reports) > 0 {
 		os.Exit(1)
 	}
+}
+
+// flagValues captures every raw flag exactly as the user typed it, so
+// validation is one testable function instead of checks scattered
+// through main.
+type flagValues struct {
+	schemes, pattern           string
+	size                       int
+	seed                       int64
+	rateMin, rateMax, rateStep float64
+	jobs                       int
+	faults                     string
+	faultScale                 float64
+	faultScales                string
+	watchdog                   string
+	shards                     int
+	telemetryPath              string
+	telemetryWindow            int64
+}
+
+// validateFlags turns raw flag values into a fully-validated
+// sweepConfig, or an error that names the offending flag and what to
+// do about it. Every cross-flag rule lives here: -fault-scales needs
+// -faults and excludes both -telemetry and MinBD; -shards must divide
+// sensibly into the mesh; -telemetry-window must be positive.
+func validateFlags(fv flagValues) (sweepConfig, error) {
+	cfg, err := buildConfig(fv.schemes, fv.pattern, fv.size, fv.seed, fv.rateMin, fv.rateMax, fv.rateStep, fv.jobs)
+	if err != nil {
+		return sweepConfig{}, err
+	}
+	if _, err := noc.ParseFaultPlan(fv.faults); err != nil {
+		return sweepConfig{}, fmt.Errorf("-faults: %v", err)
+	}
+	if _, _, err := noc.ParseWatchdogSpec(fv.watchdog); err != nil {
+		return sweepConfig{}, fmt.Errorf("-watchdog: %v", err)
+	}
+	cfg.faults, cfg.faultScale, cfg.watchdog = fv.faults, fv.faultScale, fv.watchdog
+	if err := noc.ValidateShards(fv.shards, fv.size*fv.size); err != nil {
+		return sweepConfig{}, fmt.Errorf("-shards: %v", err)
+	}
+	cfg.shards = fv.shards
+	if fv.telemetryWindow <= 0 {
+		return sweepConfig{}, fmt.Errorf("-telemetry-window %d must be a positive cycle count", fv.telemetryWindow)
+	}
+	if fv.faultScales != "" {
+		if fv.faults == "" {
+			return sweepConfig{}, fmt.Errorf("-fault-scales sweeps a fault plan's intensity; pass the plan with -faults")
+		}
+		if fv.telemetryPath != "" {
+			return sweepConfig{}, fmt.Errorf("-telemetry does not apply to the resilience experiment; drop it or -fault-scales")
+		}
+		scales, err := parseScales(fv.faultScales)
+		if err != nil {
+			return sweepConfig{}, fmt.Errorf("-fault-scales: %v", err)
+		}
+		for _, s := range cfg.schemes {
+			if s == noc.MinBD {
+				return sweepConfig{}, fmt.Errorf("the resilience experiment does not support MinBD (no links, credits or NICs to degrade); drop it from -schemes")
+			}
+		}
+		cfg.scales = scales
+	}
+	if fv.telemetryPath != "" {
+		cfg.telemetry = newTelemetrySink(cfg, fv.telemetryWindow)
+	}
+	return cfg, nil
 }
 
 // parseScales parses the -fault-scales list (non-negative, 0 = the

@@ -101,6 +101,74 @@ func TestBuildConfigValidation(t *testing.T) {
 	}
 }
 
+// goodFlags is a baseline flagValues every validateFlags case mutates.
+func goodFlags() flagValues {
+	return flagValues{
+		schemes: "FastPass,EscapeVC", pattern: "Uniform",
+		size: 4, seed: 1,
+		rateMin: 0.02, rateMax: 0.1, rateStep: 0.02,
+		watchdog: "on", shards: 1, telemetryWindow: 1000,
+	}
+}
+
+// TestValidateFlags drives every cross-flag rule through the one
+// consolidated validator, checking each rejection names the flag at
+// fault.
+func TestValidateFlags(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		mod     func(*flagValues)
+		wantErr string
+	}{
+		{name: "baseline ok", mod: func(*flagValues) {}},
+		{name: "faults plan ok", mod: func(fv *flagValues) { fv.faults = "linkfail:rate=1e-3,dur=32" }},
+		{name: "resilience ok", mod: func(fv *flagValues) {
+			fv.faults = "linkfail:rate=1e-3,dur=32"
+			fv.faultScales = "0,1,2"
+		}},
+		{name: "bad scheme", mod: func(fv *flagValues) { fv.schemes = "NoSuch" }, wantErr: "NoSuch"},
+		{name: "bad pattern", mod: func(fv *flagValues) { fv.pattern = "NoSuch" }, wantErr: "pattern"},
+		{name: "bad rate grid", mod: func(fv *flagValues) { fv.rateStep = -1 }, wantErr: "step"},
+		{name: "bad fault plan", mod: func(fv *flagValues) { fv.faults = "linkfail:rate=2" }, wantErr: "-faults"},
+		{name: "bad watchdog", mod: func(fv *flagValues) { fv.watchdog = "stride=no" }, wantErr: "-watchdog"},
+		{name: "bad shards", mod: func(fv *flagValues) { fv.shards = -3 }, wantErr: "-shards"},
+		{name: "bad telemetry window", mod: func(fv *flagValues) { fv.telemetryWindow = 0 }, wantErr: "-telemetry-window"},
+		{name: "scales without plan", mod: func(fv *flagValues) { fv.faultScales = "0,1" }, wantErr: "-faults"},
+		{name: "negative scale", mod: func(fv *flagValues) {
+			fv.faults = "linkfail:rate=1e-3,dur=32"
+			fv.faultScales = "0,-1"
+		}, wantErr: "-fault-scales"},
+		{name: "telemetry with resilience", mod: func(fv *flagValues) {
+			fv.faults = "linkfail:rate=1e-3,dur=32"
+			fv.faultScales = "0,1"
+			fv.telemetryPath = "out.jsonl"
+		}, wantErr: "-telemetry"},
+		{name: "minbd resilience", mod: func(fv *flagValues) {
+			fv.schemes = "FastPass,MinBD"
+			fv.faults = "linkfail:rate=1e-3,dur=32"
+			fv.faultScales = "0,1"
+		}, wantErr: "MinBD"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			fv := goodFlags()
+			tc.mod(&fv)
+			cfg, err := validateFlags(fv)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("error %v, want one mentioning %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fv.faultScales != "" && len(cfg.scales) == 0 {
+				t.Error("resilience scales not carried into the config")
+			}
+		})
+	}
+}
+
 // quickSweepConfig is a deliberately tiny deterministic sweep used by
 // the golden and equivalence tests.
 func quickSweepConfig(jobs int) sweepConfig {

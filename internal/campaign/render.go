@@ -1,0 +1,106 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// The renderers are the campaign's determinism surface: a journal
+// (JSONL, one Record per grid cell in grid order) and a degradation
+// curve table (CSV, one Curve per (variant, scale)). Both format every
+// number reproducibly, so files from -j 1 and -j N — or from a run
+// interrupted and resumed — compare byte-identical.
+
+// EncodeRecord renders one journal line (no trailing newline). Records
+// hold only finite values, so json.Marshal cannot fail on them.
+func EncodeRecord(r Record) ([]byte, error) {
+	return json.Marshal(r)
+}
+
+// DecodeRecord parses one journal line.
+func DecodeRecord(line []byte) (Record, error) {
+	var r Record
+	if err := json.Unmarshal(line, &r); err != nil {
+		return Record{}, fmt.Errorf("campaign: bad journal line: %w", err)
+	}
+	return r, nil
+}
+
+// WriteJournal writes records as JSONL, one line per record in the
+// order given (Run returns grid order).
+func WriteJournal(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range recs {
+		line, err := EncodeRecord(r)
+		if err != nil {
+			return err
+		}
+		bw.Write(line)
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// ReadJournal parses a JSONL journal into a resume map keyed by cell
+// identity. Blank lines are skipped; a torn final line (the write was
+// interrupted mid-record) is dropped rather than failing the resume,
+// but only if it is the last line.
+func ReadJournal(r io.Reader) (map[string]Record, error) {
+	done := make(map[string]Record)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	var pendingErr error
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if pendingErr != nil {
+			// The malformed line was not the last one: corrupt journal.
+			return nil, pendingErr
+		}
+		rec, err := DecodeRecord(line)
+		if err != nil {
+			pendingErr = err
+			continue
+		}
+		done[rec.Key()] = rec
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return done, nil
+}
+
+// ffmt formats a float for the CSV: shortest round-trip form, with NaN
+// spelled literally (undefined statistic, e.g. MTTF with no deadlocks).
+func ffmt(v float64) string {
+	if math.IsNaN(v) {
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// CurveHeader is the degradation-curve CSV header.
+const CurveHeader = "variant,scale,runs," +
+	"delivered_p50,delivered_p99,delivered_p999," +
+	"trips,trip_frac,trip_cycle_p50,delivered_at_trip," +
+	"deadlocks,mttf_p50,heals,heal_fails"
+
+// WriteCurvesCSV renders the aggregated degradation curves.
+func WriteCurvesCSV(w io.Writer, curves []Curve) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, CurveHeader)
+	for _, c := range curves {
+		fmt.Fprintf(bw, "%s,%s,%d,%s,%s,%s,%d,%s,%s,%s,%d,%s,%d,%d\n",
+			c.Variant, ffmt(c.Scale), c.Runs,
+			ffmt(c.DeliveredP50), ffmt(c.DeliveredP99), ffmt(c.DeliveredP999),
+			c.Trips, ffmt(c.TripFrac), ffmt(c.TripCycleP50), ffmt(c.DeliveredAtTrip),
+			c.Deadlocks, ffmt(c.MTTFP50), c.Heals, c.HealFails)
+	}
+	return bw.Flush()
+}

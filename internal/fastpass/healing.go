@@ -1,0 +1,406 @@
+package fastpass
+
+import (
+	"repro/internal/faults"
+	"repro/internal/message"
+	"repro/internal/routing"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// Self-healing lane re-derivation (DESIGN.md §15). The paper's §III-F
+// derives FastPass lanes for *any* connected topology from a holistic
+// walk, which makes a permanent link failure just a new irregular
+// topology: when the fault injector marks a link permanently down the
+// controller drains its in-flight FastPass-Packets, re-runs the walk
+// derivation on the surviving graph, and resumes with circulating
+// lanes over the degraded fabric — the irrnet mechanism transplanted
+// onto the mesh substrate.
+//
+// The protocol is drain → rederive → resume, entirely inside the
+// serial PreCycle stretch of the cycle engine:
+//
+//   - drain: the injector's permanent-failure generation moved, so the
+//     wiring must change. New launches/pickups stop; packets already in
+//     the air complete on the old configuration (a flight lasts at most
+//     one slot, a lane ride at most one walk circuit).
+//   - rederive: once no packet is mid-flight, rebuild the surviving
+//     undirected channel list (a channel survives only if neither
+//     direction is permanently down), derive the holistic walk, and
+//     install evenly spaced circulating lanes over it. If the cut
+//     disconnected the fabric, record the failed heal and stay in
+//     static degraded mode (dead-path launch gating).
+//   - resume: lanes ride the walk in lockstep, one link per cycle.
+//     Spacing of at least MaxPktLen+2 walk links makes their claims
+//     collision-free; acceptance is guaranteed by taking the NIC's
+//     single per-class reservation at promotion time, with a landing
+//     register absorbing arrivals that find the queue momentarily full.
+//
+// Everything runs in PreCycle — serial under any shard count — and is
+// a pure function of (plan, topology, seed), so campaigns stay
+// bit-identical at any -j/-shards and across checkpoint resume.
+
+// healedWiring is the post-heal lane mechanism: a closed walk over the
+// surviving directed links plus the circulating lane heads riding it.
+type healedWiring struct {
+	walk []int // mesh link IDs; traverses every surviving link once
+	// arrivals[node] lists the walk positions whose link ends at node,
+	// ascending (binary-searched at pickup time); derived from walk.
+	arrivals [][]int
+	lanePos  []int // lane i's head position on the walk
+	lanes    []healedLane
+}
+
+// healedLane is one circulating lane.
+type healedLane struct {
+	pkt *message.Packet
+	// dstCountdown is walk steps until the head reaches the packet's
+	// destination; progress counts cycles since boarding (bounds the
+	// flit train's rear claims); scanPtr is the lane's RR cursor over
+	// network input buffers.
+	dstCountdown int
+	progress     int
+	scanPtr      int
+}
+
+// trackFaults is the per-cycle healing state machine: one integer
+// compare on the healthy path, the drain/rederive protocol when the
+// permanent-failure generation moves.
+func (c *Controller) trackFaults() {
+	inj := c.net.Faults()
+	if inj == nil {
+		return
+	}
+	if c.restored {
+		c.restored = false
+		c.rebuildDeadLinks(inj)
+	}
+	if gen := inj.PermGen(); gen != c.appliedGen {
+		c.rebuildDeadLinks(inj)
+		if c.prm.Healing {
+			c.draining = true
+		} else {
+			c.appliedGen = gen
+		}
+	}
+	if c.draining && c.quiet() {
+		c.rederive(inj)
+		c.draining = false
+	}
+}
+
+// rebuildDeadLinks mirrors the injector's permanently-failed set into
+// the controller's dense lookup.
+//
+//nocvet:cold runs once per permanent-failure generation, not per cycle
+func (c *Controller) rebuildDeadLinks(inj *faults.Injector) {
+	if c.deadLink == nil {
+		c.deadLink = make([]bool, len(c.mesh.Links()))
+	}
+	c.deadCount = 0
+	for i := range c.deadLink {
+		c.deadLink[i] = inj.LinkDownPermanently(i)
+		if c.deadLink[i] {
+			c.deadCount++
+		}
+	}
+}
+
+// quiet reports whether no packet is mid-flight on either lane
+// mechanism. Landing registers are excluded: a landed packet's delivery
+// does not depend on the wiring being replaced.
+func (c *Controller) quiet() bool {
+	for _, f := range c.flights {
+		if f != nil {
+			return false
+		}
+	}
+	if c.hw != nil {
+		for i := range c.hw.lanes {
+			if c.hw.lanes[i].pkt != nil {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// laneDead reports whether the mesh lane round trip prime→dst (XY out,
+// YX return) crosses a permanently failed link — lane wiring that died
+// with the silicon. Transient failures do not count: the dedicated
+// wiring of the paper's router rides out glitches.
+func (c *Controller) laneDead(prime, dst int) bool {
+	c.pathBuf = routing.AppendPathXY(c.mesh, c.pathBuf[:0], prime, dst)
+	for _, l := range c.pathBuf {
+		if c.deadLink[l.ID] {
+			return true
+		}
+	}
+	c.pathBuf = routing.AppendPathYX(c.mesh, c.pathBuf[:0], dst, prime)
+	for _, l := range c.pathBuf {
+		if c.deadLink[l.ID] {
+			return true
+		}
+	}
+	return false
+}
+
+// rederive rebuilds the lane wiring for the current permanent-failure
+// generation: surviving channels → holistic walk → circulating lanes.
+//
+//nocvet:cold runs once per permanent link failure, not per cycle
+func (c *Controller) rederive(inj *faults.Injector) {
+	c.appliedGen = inj.PermGen()
+	links := c.mesh.Links()
+	nn := c.mesh.NumNodes()
+	rev := make([]int, nn*nn)
+	for i := range rev {
+		rev[i] = -1
+	}
+	for i := range links {
+		rev[links[i].Src*nn+links[i].Dst] = links[i].ID
+	}
+	var edges [][2]int
+	for i := range links {
+		l := &links[i]
+		if l.Src >= l.Dst {
+			continue
+		}
+		back := rev[l.Dst*nn+l.Src]
+		if c.deadLink[l.ID] || (back >= 0 && c.deadLink[back]) {
+			// A channel survives only when both directions do: the walk
+			// needs balanced in/out degree at every node.
+			continue
+		}
+		edges = append(edges, [2]int{l.Src, l.Dst})
+	}
+	ir, err := topology.NewIrregular(nn, edges)
+	if err != nil {
+		// The cut disconnected the fabric: no walk exists. Stay in
+		// static degraded mode — dead lanes stop launching — and let the
+		// campaign see the failed heal.
+		c.hw = nil
+		c.healFailed = true
+		c.Counters.HealFails++
+		return
+	}
+	iw := ir.HolisticWalk()
+	walk := make([]int, len(iw))
+	for i, id := range iw {
+		il := ir.Links()[id]
+		walk[i] = rev[il.Src*nn+il.Dst]
+	}
+	c.installHealedWalk(walk)
+	c.healFailed = false
+	c.Counters.Heals++
+	c.Trace.Record(c.net.Cycle(), trace.PacketPromoted, 0, 0, "lane schedule re-derived")
+}
+
+// installHealedWalk builds the circulating-lane state over a walk. Lane
+// count starts from the mesh partition count but is capped so heads
+// stay at least MaxPktLen+2 walk links apart — the spacing that makes
+// lockstep claims collision-free.
+func (c *Controller) installHealedWalk(walk []int) {
+	links := c.mesh.Links()
+	hw := &healedWiring{walk: walk, arrivals: make([][]int, c.mesh.NumNodes())}
+	for p, id := range walk {
+		dst := links[id].Dst
+		hw.arrivals[dst] = append(hw.arrivals[dst], p)
+	}
+	lanes := c.sched.Partitions()
+	if m := len(walk) / (c.prm.MaxPktLen + 2); lanes > m {
+		lanes = m
+	}
+	if lanes < 1 {
+		lanes = 1
+	}
+	hw.lanePos = make([]int, lanes)
+	for i := range hw.lanePos {
+		hw.lanePos[i] = i * len(walk) / lanes
+	}
+	hw.lanes = make([]healedLane, lanes)
+	c.hw = hw
+}
+
+// healedSteps returns how many walk steps from position pos until the
+// walk first arrives at dst (always in [1, len(walk)] on a closed walk
+// that visits every node), or -1 if dst never appears.
+func (c *Controller) healedSteps(pos, dst int) int {
+	arr := c.hw.arrivals[dst]
+	if len(arr) == 0 {
+		return -1
+	}
+	lo, hi := 0, len(arr)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if arr[mid] < pos {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	var a int
+	if lo < len(arr) {
+		a = arr[lo]
+	} else {
+		a = arr[0] + len(c.hw.walk)
+	}
+	return a - pos + 1
+}
+
+// stepHealedLanes advances every circulating lane one walk link:
+// trains claim the links under their flits, arrivals deliver, and free
+// lanes scan for pickups (unless a drain is in progress).
+func (c *Controller) stepHealedLanes(cycle int64) {
+	hw := c.hw
+	L := len(hw.walk)
+	for i := range hw.lanes {
+		ls := &hw.lanes[i]
+		pos := hw.lanePos[i]
+		if ls.pkt != nil {
+			// Flit k crosses the link k positions behind the head; the
+			// rear never reaches behind the boarding point.
+			rear := ls.pkt.Len - 1
+			if ls.progress < rear {
+				rear = ls.progress
+			}
+			for k := 0; k <= rear; k++ {
+				c.net.ClaimLink(hw.walk[((pos-k)%L+L)%L])
+			}
+			ls.pkt.FastCycles++
+			ls.progress++
+			ls.dstCountdown--
+			if ls.dstCountdown <= 0 {
+				c.healedArrive(ls, cycle)
+			}
+		} else if !c.draining {
+			c.tryHealedPickup(ls, pos, cycle)
+		}
+		hw.lanePos[i] = (pos + 1) % L
+	}
+}
+
+// healedArrive lands a lane's packet at its destination. The
+// reservation taken at promotion guarantees a slot eventually; if the
+// ejection queue is momentarily full the landing register holds the
+// packet (the irregular analogue of the mesh's reserve-and-return —
+// a returning path along the walk would cross other lanes' links).
+func (c *Controller) healedArrive(ls *healedLane, cycle int64) {
+	pkt := ls.pkt
+	ls.pkt = nil
+	nic := c.net.NICs[pkt.Dst]
+	if nic.CanEject(pkt) {
+		nic.EjectFast(cycle, pkt)
+		c.Counters.FastEjects++
+		c.Trace.Record(cycle, trace.LaneDeliver, pkt.ID, pkt.Dst, "")
+		return
+	}
+	c.Counters.Rejections++
+	c.Trace.Record(cycle, trace.PacketRejected, pkt.ID, pkt.Dst, "held in landing register")
+	c.landing[pkt.Dst] = append(c.landing[pkt.Dst], pkt)
+}
+
+// drainLandings retries landed packets against their ejection queues;
+// they hold the reservation made at promotion, so space reaches them
+// first.
+func (c *Controller) drainLandings(cycle int64) {
+	for node := range c.landing {
+		l := c.landing[node]
+		if len(l) == 0 {
+			continue
+		}
+		kept := l[:0]
+		for _, pkt := range l {
+			if c.net.NICs[node].CanEject(pkt) {
+				c.net.NICs[node].EjectFast(cycle, pkt)
+				c.Counters.FastEjects++
+				c.Trace.Record(cycle, trace.LaneDeliver, pkt.ID, node, "")
+				continue
+			}
+			kept = append(kept, pkt)
+		}
+		c.landing[node] = kept
+	}
+}
+
+// tryHealedPickup promotes a head packet at the node the lane head is
+// leaving this cycle, in the mesh prime's scan order. Guaranteed
+// acceptance comes from holding the destination queue's single
+// per-class reservation, checked before the packet is removed.
+func (c *Controller) tryHealedPickup(ls *healedLane, pos int, cycle int64) {
+	node := c.mesh.Links()[c.hw.walk[pos]].Src
+	r := c.net.Routers[node]
+	c.scanBuf = c.scanBuf[:0]
+	c.scanBuf = append(c.scanBuf,
+		scanSlot{topology.Local, int(message.Request)},
+		scanSlot{topology.Local, int(message.Response)})
+	for cl := message.Class(0); cl < message.NumClasses; cl++ {
+		if cl != message.Request && cl != message.Response {
+			c.scanBuf = append(c.scanBuf, scanSlot{topology.Local, int(cl)})
+		}
+	}
+	netVCs := r.Cfg.NetVCs()
+	total := (c.mesh.NumPorts() - 1) * netVCs
+	if !c.prm.ScanInjectionOnly {
+		for k := 0; k < total; k++ {
+			j := (ls.scanPtr + k) % total
+			c.scanBuf = append(c.scanBuf, scanSlot{topology.Direction(1 + j/netVCs), j % netVCs})
+		}
+	}
+	for _, b := range c.scanBuf {
+		e := r.VCFor(b.port, b.vc).Head()
+		if e == nil || !e.FullyBuffered() || e.Pkt.Dst == node {
+			continue
+		}
+		if c.prm.PromoteMinWait > 0 && cycle-e.LastMove < int64(c.prm.PromoteMinWait) && !e.Pkt.Rejected {
+			continue
+		}
+		dst := e.Pkt.Dst
+		nic := c.net.NICs[dst]
+		if nic.Reservations(e.Pkt.Class) > 0 && !nic.HasReservation(e.Pkt) {
+			// Another packet holds the queue's reservation: retry later.
+			continue
+		}
+		steps := c.healedSteps(pos, dst)
+		if steps < 0 {
+			continue
+		}
+		pkt := r.RemoveHeadPacket(b.port, b.vc)
+		if pkt == nil {
+			continue
+		}
+		if b.port != topology.Local {
+			ls.scanPtr = (int(b.port-1)*netVCs + b.vc + 1) % total
+		}
+		nic.TryReserve(pkt) // cannot fail: availability checked above, PreCycle is serial
+		pkt.Kind = message.FastPass
+		ls.pkt = pkt
+		ls.dstCountdown = steps
+		ls.progress = 0
+		c.Counters.Promoted++
+		c.Trace.Record(cycle, trace.PacketPromoted, pkt.ID, node, "")
+		// The head flit crosses this cycle's walk link immediately.
+		c.net.ClaimLink(c.hw.walk[pos])
+		pkt.FastCycles++
+		ls.progress = 1
+		ls.dstCountdown--
+		if ls.dstCountdown <= 0 {
+			// Single-hop ride: the head arrives as it boards.
+			c.healedArrive(ls, cycle)
+		}
+		return
+	}
+}
+
+// Healed reports whether a re-derived lane schedule is active
+// (diagnostics, tests, campaign accounting).
+func (c *Controller) Healed() bool { return c.hw != nil }
+
+// HealedWalkLen reports the active healed walk's length (0 when the
+// original mesh schedule is still in force).
+func (c *Controller) HealedWalkLen() int {
+	if c.hw == nil {
+		return 0
+	}
+	return len(c.hw.walk)
+}

@@ -1,6 +1,9 @@
 package fastpass
 
-import "repro/internal/snapshot"
+import (
+	"repro/internal/message"
+	"repro/internal/snapshot"
+)
 
 // SnapshotState encodes the controller's mutable state: per-column
 // flights (paths as link IDs — pointers into the mesh's link table are
@@ -41,6 +44,43 @@ func (c *Controller) SnapshotState(w *snapshot.Writer) {
 	w.I64(c.Counters.Parked)
 	w.I64(c.Counters.Drops)
 	w.I64(c.Counters.Regens)
+	w.I64(c.Counters.Heals)
+	w.I64(c.Counters.HealFails)
+	// Healing state. The healed walk is encoded explicitly (not
+	// re-derived from the injector on restore): the permanent-failure
+	// generation may have advanced again since the heal — mid-drain —
+	// so "the injector's current dead set" is not "the walk's dead set".
+	w.U64(c.appliedGen)
+	w.Bool(c.draining)
+	w.Bool(c.healFailed)
+	w.Bool(c.hw != nil)
+	if hw := c.hw; hw != nil {
+		w.Int(len(hw.walk))
+		for _, id := range hw.walk {
+			w.Int(id)
+		}
+		w.Int(len(hw.lanes))
+		for i := range hw.lanes {
+			ls := &hw.lanes[i]
+			w.Int(hw.lanePos[i])
+			w.Bool(ls.pkt != nil)
+			if ls.pkt != nil {
+				w.Packet(ls.pkt)
+				w.Int(ls.dstCountdown)
+				w.Int(ls.progress)
+			}
+			w.Int(ls.scanPtr)
+		}
+	}
+	w.Bool(c.landing != nil)
+	if c.landing != nil {
+		for _, l := range c.landing {
+			w.Int(len(l))
+			for _, p := range l {
+				w.Packet(p)
+			}
+		}
+	}
 }
 
 // RestoreState decodes into a freshly attached controller.
@@ -88,16 +128,82 @@ func (c *Controller) RestoreState(r *snapshot.Reader) {
 	c.Counters.Parked = r.I64()
 	c.Counters.Drops = r.I64()
 	c.Counters.Regens = r.I64()
+	c.Counters.Heals = r.I64()
+	c.Counters.HealFails = r.I64()
+	c.appliedGen = r.U64()
+	c.draining = r.Bool()
+	c.healFailed = r.Bool()
+	c.hw = nil
+	if r.Bool() {
+		wn := r.Int()
+		if wn < 0 || wn > len(links) {
+			r.Fail("healed walk length %d outside topology (%d links)", wn, len(links))
+			return
+		}
+		walk := make([]int, wn)
+		for i := range walk {
+			id := r.Int()
+			if id < 0 || id >= len(links) {
+				r.Fail("healed walk link %d outside topology (%d links)", id, len(links))
+				return
+			}
+			walk[i] = id
+		}
+		ln := r.Int()
+		if ln < 0 || ln > wn {
+			r.Fail("healed lane count %d exceeds walk length %d", ln, wn)
+			return
+		}
+		hw := &healedWiring{
+			walk:     walk,
+			arrivals: make([][]int, c.mesh.NumNodes()),
+			lanePos:  make([]int, ln),
+			lanes:    make([]healedLane, ln),
+		}
+		// arrivals is a pure function of the walk; rebuild it here.
+		for p, id := range walk {
+			dst := links[id].Dst
+			hw.arrivals[dst] = append(hw.arrivals[dst], p)
+		}
+		for i := 0; i < ln && r.Err() == nil; i++ {
+			hw.lanePos[i] = r.Int()
+			if r.Bool() {
+				hw.lanes[i].pkt = r.Packet()
+				hw.lanes[i].dstCountdown = r.Int()
+				hw.lanes[i].progress = r.Int()
+			}
+			hw.lanes[i].scanPtr = r.Int()
+		}
+		c.hw = hw
+	}
+	c.landing = nil
+	if r.Bool() {
+		c.landing = make([][]*message.Packet, c.mesh.NumNodes())
+		for node := range c.landing {
+			n := r.Int()
+			for i := 0; i < n && r.Err() == nil; i++ {
+				c.landing[node] = append(c.landing[node], r.Packet())
+			}
+		}
+	}
+	// deadLink/deadCount are rebuilt from the injector in the first
+	// PreCycle — every subsystem, the injector included, is restored by
+	// the time stepping resumes.
+	c.restored = true
 }
 
 func init() {
 	snapshot.Register("fastpass.Controller", Controller{},
-		[]string{"flights", "flightSlots", "laneCool", "scanPtr", "regenQ", "Counters"},
+		[]string{"flights", "flightSlots", "laneCool", "scanPtr", "regenQ", "Counters",
+			"appliedGen", "draining", "healFailed", "hw", "landing"},
 		[]string{
 			// Wiring and configuration from Attach.
 			"net", "mesh", "sched", "prm", "OnDrop", "Trace",
 			// Per-PreCycle scratch, rewritten before every read.
-			"scanBuf",
+			"scanBuf", "pathBuf",
+			// Mirrors of the injector's permanent-failure set, rebuilt
+			// lazily in the first post-restore PreCycle.
+			"deadLink", "deadCount", "restored",
 		})
 	snapshot.Register("fastpass.flight", flight{},
 		[]string{"col", "prime", "pkt", "state", "path", "start", "rejected", "holder"},
@@ -106,7 +212,15 @@ func init() {
 		[]string{"pkt", "readyAt"},
 		nil)
 	snapshot.Register("fastpass.Counters", Counters{},
-		[]string{"Promoted", "FastEjects", "Rejections", "Parked", "Drops", "Regens"},
+		[]string{"Promoted", "FastEjects", "Rejections", "Parked", "Drops", "Regens",
+			"Heals", "HealFails"},
+		nil)
+	snapshot.Register("fastpass.healedWiring", healedWiring{},
+		[]string{"walk", "lanePos", "lanes"},
+		// arrivals is a pure function of walk, rebuilt on restore.
+		[]string{"arrivals"})
+	snapshot.Register("fastpass.healedLane", healedLane{},
+		[]string{"pkt", "dstCountdown", "progress", "scanPtr"},
 		nil)
 }
 

@@ -115,8 +115,13 @@ func (p Plan) Empty() bool {
 
 // Scale returns a copy with every rate multiplied by f (clamped to 1).
 // Targeted events are not scaled. Resilience sweeps use it to walk a
-// fault-intensity axis from a single base plan.
+// fault-intensity axis from a single base plan. Negative factors are a
+// driver bug — a rate can only be attenuated or amplified, never
+// inverted — and panic rather than silently producing a zero plan.
 func (p Plan) Scale(f float64) Plan {
+	if f < 0 {
+		panic(fmt.Sprintf("faults: negative fault-scale factor %v", f))
+	}
 	s := p
 	s.LinkFailRate = clamp01(p.LinkFailRate * f)
 	s.PortStallRate = clamp01(p.PortStallRate * f)
@@ -154,7 +159,10 @@ func ParsePlan(spec string) (Plan, error) {
 	for _, clause := range strings.Split(spec, ";") {
 		clause = strings.TrimSpace(clause)
 		if clause == "" {
-			continue
+			// An empty clause inside a non-empty spec is a typo (";;",
+			// a trailing separator), not a request for nothing: reject it
+			// so the mistake surfaces at flag-parse time, not mid-campaign.
+			return Plan{}, fmt.Errorf("empty clause in spec %q", spec)
 		}
 		if err := p.parseClause(clause); err != nil {
 			return Plan{}, err
@@ -195,6 +203,9 @@ func (p *Plan) parseClause(clause string) error {
 				continue
 			}
 			if param == "perm" {
+				if _, dup := kv["dur"]; dup {
+					return fmt.Errorf("clause %q: duplicate parameter %q (perm is shorthand for dur=-1)", kind, "dur")
+				}
 				kv["dur"] = "-1"
 				continue
 			}
@@ -202,7 +213,13 @@ func (p *Plan) parseClause(clause string) error {
 			if !ok {
 				return fmt.Errorf("clause %q: parameter %q is not key=value", kind, param)
 			}
-			kv[strings.TrimSpace(k)] = strings.TrimSpace(v)
+			key := strings.TrimSpace(k)
+			if _, dup := kv[key]; dup {
+				// Last-one-wins would silently discard half the clause;
+				// a duplicated key is always a typo.
+				return fmt.Errorf("clause %q: duplicate parameter %q", kind, key)
+			}
+			kv[key] = strings.TrimSpace(v)
 		}
 	}
 	get := func(key string) (string, bool) { v, ok := kv[key]; delete(kv, key); return v, ok }
@@ -228,6 +245,16 @@ func (p *Plan) parseClause(clause string) error {
 		}
 		return r, nil
 	}
+	dur := func(def int64) (int64, error) {
+		d, err := num("dur", def)
+		if err != nil {
+			return 0, err
+		}
+		if d < -1 {
+			return 0, fmt.Errorf("clause %q: duration %d is negative (use perm or dur=-1 for a permanent fault)", kind, d)
+		}
+		return d, nil
+	}
 	_, targeted := kv["at"]
 	var err error
 	switch {
@@ -236,7 +263,7 @@ func (p *Plan) parseClause(clause string) error {
 		if ev.At, err = num("at", 0); err != nil {
 			return err
 		}
-		if ev.Dur, err = num("dur", -1); err != nil {
+		if ev.Dur, err = dur(-1); err != nil {
 			return err
 		}
 		switch kind {
@@ -275,14 +302,14 @@ func (p *Plan) parseClause(clause string) error {
 		if p.LinkFailRate, err = rate(); err != nil {
 			return err
 		}
-		if p.LinkFailDur, err = num("dur", 0); err != nil {
+		if p.LinkFailDur, err = dur(0); err != nil {
 			return err
 		}
 	case kind == "portstall":
 		if p.PortStallRate, err = rate(); err != nil {
 			return err
 		}
-		if p.PortStallDur, err = num("dur", 0); err != nil {
+		if p.PortStallDur, err = dur(0); err != nil {
 			return err
 		}
 	case kind == "corrupt":
@@ -297,7 +324,7 @@ func (p *Plan) parseClause(clause string) error {
 		if p.ConsumerStallRate, err = rate(); err != nil {
 			return err
 		}
-		if p.ConsumerStallDur, err = num("dur", 0); err != nil {
+		if p.ConsumerStallDur, err = dur(0); err != nil {
 			return err
 		}
 	default:
@@ -358,6 +385,13 @@ type Injector struct {
 	events    []Event // sorted by At
 	nextEvent int
 	cycle     int64
+
+	// permGen counts transitions of links into the permanently-down
+	// state. Controllers that derive wiring from the surviving graph
+	// (the self-healing FastPass lane re-derivation) compare it against
+	// the generation they last applied: a plain integer compare per
+	// cycle, no scanning.
+	permGen uint64
 
 	// Counters aggregates everything injected so far.
 	Counters Counters
@@ -459,7 +493,11 @@ func (j *Injector) fire(ev Event) {
 }
 
 func (j *Injector) failLink(link int, dur int64) {
-	j.linkDownUntil[link] = j.until(dur)
+	until := j.until(dur)
+	if until == math.MaxInt64 && j.linkDownUntil[link] != math.MaxInt64 {
+		j.permGen++
+	}
+	j.linkDownUntil[link] = until
 	j.Counters.LinkFails++
 }
 
@@ -475,6 +513,19 @@ func (j *Injector) stallConsumer(node int, dur int64) {
 
 // LinkDown reports whether the directed link is currently failed.
 func (j *Injector) LinkDown(link int) bool { return j.cycle < j.linkDownUntil[link] }
+
+// LinkDownPermanently reports whether the directed link is failed
+// forever — the faults self-healing controllers rewire around.
+func (j *Injector) LinkDownPermanently(link int) bool {
+	return j.linkDownUntil[link] == math.MaxInt64
+}
+
+// PermGen returns the permanent-link-failure generation: it increments
+// each time a link transitions into the permanently-down state. A
+// controller caches the generation it last derived wiring for and
+// re-derives only when the value moves, keeping the healthy hot path at
+// one integer compare.
+func (j *Injector) PermGen() uint64 { return j.permGen }
 
 // PortStalled reports whether a router input port is currently frozen.
 func (j *Injector) PortStalled(node, port int) bool {

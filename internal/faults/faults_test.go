@@ -72,12 +72,49 @@ func TestParsePlanErrors(t *testing.T) {
 		"frobnicate=1",             // unknown directive
 		"linkfail:rate=0.1,dur=x",  // bad duration
 		"portstall:rate=0.1;portstall:node=a,port=1,at=1", // bad node
+		"linkfail:rate=0.1;;corrupt:rate=0.01",            // empty clause
+		"linkfail:rate=0.1;",                              // trailing separator
+		";",                                               // only separators
+		"linkfail:rate=0.1,rate=0.2",                      // duplicate key
+		"linkfail:rate=0.1,dur=8,dur=16",                  // duplicate key
+		"linkfail:link=3,at=5,perm,dur=9",                 // perm then dur= duplicate
+		"linkfail:link=3,at=5,dur=9,perm",                 // dur= then perm duplicate
+		"linkfail:rate=-0.1",                              // negative rate
+		"corrupt:rate=-1e-3",                              // negative rate
+		"linkfail:rate=0.1,dur=-5",                        // negative duration (not -1)
+		"portstall:rate=0.1,dur=-2",                       // negative duration (not -1)
+		"stallconsumer:node=1,at=5,dur=-64",               // negative event duration
 	}
 	for _, spec := range bad {
 		if _, err := ParsePlan(spec); err == nil {
 			t.Errorf("%q: expected parse error", spec)
 		}
 	}
+}
+
+// Negative durations mean permanent only through the single spelling
+// dur=-1 (what perm expands to); the parser accepts it everywhere a
+// duration is legal.
+func TestParsePlanPermanentDur(t *testing.T) {
+	p, err := ParsePlan("linkfail:rate=0.1,dur=-1;linkfail:link=3,at=5,dur=-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.LinkFailDur != -1 {
+		t.Errorf("LinkFailDur = %d, want -1", p.LinkFailDur)
+	}
+	if len(p.Events) != 1 || p.Events[0].Dur != -1 {
+		t.Errorf("events = %+v", p.Events)
+	}
+}
+
+func TestScaleRejectsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Scale(-1) should panic, not clamp")
+		}
+	}()
+	MustParsePlan("linkfail:rate=0.1").Scale(-1)
 }
 
 func TestScaleClamps(t *testing.T) {
@@ -221,6 +258,32 @@ func TestRollsOrderInvariant(t *testing.T) {
 	}
 	if !hit {
 		t.Error("rate-0.5 rolls over 8 links hit nothing — hash likely degenerate")
+	}
+}
+
+// PermGen moves exactly when a link enters the permanently-down state:
+// transient failures never bump it, and re-failing an already-permanent
+// link is not a new generation.
+func TestPermGenCountsPermanentTransitions(t *testing.T) {
+	plan := MustParsePlan("linkfail:link=3,at=10,dur=20;linkfail:link=5,at=30,perm;linkfail:link=5,at=40,perm;linkfail:link=7,at=50,perm")
+	j := NewInjector(plan, 48, 16, 5, 1)
+	want := func(cycle int64, gen uint64) {
+		t.Helper()
+		j.BeginCycle(cycle)
+		if got := j.PermGen(); got != gen {
+			t.Fatalf("cycle %d: PermGen = %d, want %d", cycle, got, gen)
+		}
+	}
+	want(0, 0)
+	want(10, 0) // transient failure: no generation change
+	want(30, 1)
+	want(40, 1) // same link permanent again: no change
+	want(50, 2)
+	if !j.LinkDownPermanently(5) || !j.LinkDownPermanently(7) {
+		t.Error("permanent links not reported by LinkDownPermanently")
+	}
+	if j.LinkDownPermanently(3) {
+		t.Error("transient failure reported as permanent")
 	}
 }
 

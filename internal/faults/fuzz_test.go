@@ -1,0 +1,67 @@
+package faults
+
+import "testing"
+
+// FuzzParsePlan drives the spec grammar with arbitrary input. The
+// parser must never panic, and any spec it accepts must satisfy the
+// Plan invariants: rates inside [0,1], durations never below -1, and
+// every targeted event carrying a victim. Accepted plans must also
+// survive Scale, which resilience sweeps apply unconditionally.
+func FuzzParsePlan(f *testing.F) {
+	seeds := []string{
+		"",
+		"none",
+		"linkfail:rate=2e-4,dur=64;corrupt:rate=1e-3;creditloss:rate=1e-4",
+		"portstall:rate=1e-4,dur=32;stallconsumer:rate=1e-5,dur=256;seed=7",
+		"stallconsumer:node=5,at=100,perm",
+		"linkfail:link=3,at=50,dur=20;portstall:node=2,port=4,at=10",
+		"linkfail:rate=0.1,rate=0.2",
+		"linkfail:rate=0.1;;corrupt:rate=0.01",
+		"linkfail:rate=0.1,dur=-5",
+		"seed=-9001",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := ParsePlan(spec)
+		if err != nil {
+			return
+		}
+		for _, r := range []float64{p.LinkFailRate, p.PortStallRate, p.CorruptRate, p.CreditLossRate, p.ConsumerStallRate} {
+			if r < 0 || r > 1 {
+				t.Fatalf("%q: accepted rate %v outside [0,1]", spec, r)
+			}
+		}
+		for _, d := range []int64{p.LinkFailDur, p.PortStallDur, p.ConsumerStallDur} {
+			if d < -1 {
+				t.Fatalf("%q: accepted duration %d below -1", spec, d)
+			}
+		}
+		for _, ev := range p.Events {
+			if ev.Dur < -1 {
+				t.Fatalf("%q: accepted event duration %d below -1", spec, ev.Dur)
+			}
+			switch ev.Kind {
+			case EvLinkFail:
+				if ev.Link < 0 {
+					t.Fatalf("%q: targeted linkfail without victim", spec)
+				}
+			case EvPortStall:
+				if ev.Node < 0 || ev.Port < 0 {
+					t.Fatalf("%q: targeted portstall without victim", spec)
+				}
+			case EvConsumerStall:
+				if ev.Node < 0 {
+					t.Fatalf("%q: targeted stallconsumer without victim", spec)
+				}
+			}
+		}
+		s := p.Scale(2.5)
+		for _, r := range []float64{s.LinkFailRate, s.PortStallRate, s.CorruptRate, s.CreditLossRate, s.ConsumerStallRate} {
+			if r < 0 || r > 1 {
+				t.Fatalf("%q: scaled rate %v outside [0,1]", spec, r)
+			}
+		}
+	})
+}

@@ -11,6 +11,7 @@ func (j *Injector) SnapshotState(w *snapshot.Writer) {
 	w.U64(j.src.Draws())
 	w.I64(j.cycle)
 	w.Int(j.nextEvent)
+	w.U64(j.permGen)
 	for _, v := range j.linkDownUntil {
 		w.I64(v)
 	}
@@ -35,6 +36,7 @@ func (j *Injector) RestoreState(r *snapshot.Reader) {
 	j.src.Skip(r.U64())
 	j.cycle = r.I64()
 	j.nextEvent = r.Int()
+	j.permGen = r.U64()
 	for i := range j.linkDownUntil {
 		j.linkDownUntil[i] = r.I64()
 	}
@@ -55,7 +57,7 @@ func (j *Injector) RestoreState(r *snapshot.Reader) {
 func init() {
 	snapshot.Register("faults.Injector", Injector{},
 		[]string{
-			"src", "cycle", "nextEvent",
+			"src", "cycle", "nextEvent", "permGen",
 			"linkDownUntil", "portStallUntil", "consumerStallUntil",
 			"Counters",
 		},

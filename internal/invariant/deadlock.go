@@ -144,6 +144,10 @@ func findCycle(edges [][]int32, nres int) []int {
 func (w *Watchdog) deadlockViolation(cycle int64, loop []int, heads []*waitingHead) Violation {
 	var b strings.Builder
 	fmt.Fprintf(&b, "invariant: deadlock detected at cycle %d\n", cycle)
+	if w.sampEnq > 0 {
+		fmt.Fprintf(&b, "delivered at trip: %d of %d enqueued packets (%.4f)\n",
+			w.sampCons, w.sampEnq, float64(w.sampCons)/float64(w.sampEnq))
+	}
 	fmt.Fprintf(&b, "waits-for cycle of %d resources:\n", len(loop))
 	var ids []uint64
 	for i, rid := range loop {

@@ -18,6 +18,8 @@ func (w *Watchdog) SnapshotState(sw *snapshot.Writer) {
 		for _, id := range v.Packets {
 			sw.U64(id)
 		}
+		sw.I64(v.Enqueued)
+		sw.I64(v.Consumed)
 	}
 	sw.Bool(w.fatal)
 	sw.Bool(w.deadlocked)
@@ -46,6 +48,8 @@ func (w *Watchdog) RestoreState(r *snapshot.Reader) {
 		for j := 0; j < k && r.Err() == nil; j++ {
 			v.Packets = append(v.Packets, r.U64())
 		}
+		v.Enqueued = r.I64()
+		v.Consumed = r.I64()
 		w.violations = append(w.violations, v)
 	}
 	w.fatal = r.Bool()
@@ -68,9 +72,11 @@ func init() {
 		[]string{"violations", "fatal", "deadlocked", "leaks", "countdown",
 			"suspect", "lastProgress", "lastProgressCycle"},
 		[]string{"net", "opts", "held", "numPorts", "resStep", "netVCs",
-			"live", "noteLive", "allocMark", "starved"})
+			"live", "noteLive", "allocMark", "starved",
+			// Per-sample scratch, rewritten before any record().
+			"sampEnq", "sampCons"})
 	snapshot.Register("invariant.Violation", Violation{},
-		[]string{"Kind", "Cycle", "Report", "Packets"}, nil)
+		[]string{"Kind", "Cycle", "Report", "Packets", "Enqueued", "Consumed"}, nil)
 }
 
 var _ snapshot.Stater = (*Watchdog)(nil)

@@ -70,6 +70,21 @@ type Violation struct {
 	// Packets lists the packet IDs implicated (starved set, deadlock
 	// cycle members, conservation leftovers), ascending.
 	Packets []uint64
+	// Enqueued/Consumed snapshot the traffic accounting at trip time —
+	// the delivered-fraction-at-trip that reliability campaigns bucket
+	// their MTTF distributions on.
+	Enqueued int64
+	Consumed int64
+}
+
+// DeliveredFrac returns the fraction of enqueued packets consumed by
+// trip time (1 when nothing was enqueued: an idle network has delivered
+// everything it was given).
+func (v Violation) DeliveredFrac() float64 {
+	if v.Enqueued == 0 {
+		return 1
+	}
+	return float64(v.Consumed) / float64(v.Enqueued)
 }
 
 // Options tunes the watchdog. The zero value means "use defaults";
@@ -183,6 +198,12 @@ type Watchdog struct {
 
 	lastProgress      int64 // FlitsOnLinks + ΣConsumed at last sample
 	lastProgressCycle int64
+
+	// sampEnq/sampCons hold the current sample's traffic accounting so
+	// record() can stamp delivered-fraction-at-trip into each Violation.
+	// Scratch: always rewritten by sample() before any record().
+	sampEnq  int64
+	sampCons int64
 }
 
 // Attach builds a watchdog over n and installs it as n's probe. opts
@@ -316,6 +337,7 @@ func (w *Watchdog) sample() {
 	for _, h := range w.held {
 		h.ForEachHeld(w.noteLive)
 	}
+	w.sampEnq, w.sampCons = enqueued, consumed
 
 	// Packet conservation: every packet ever enqueued is either
 	// consumed or findable somewhere right now.
@@ -403,8 +425,10 @@ func (w *Watchdog) tripConservation(cycle, enqueued, consumed, inFlight int64) {
 	w.record(Violation{Kind: Conservation, Cycle: cycle, Report: b.String(), Packets: ids})
 }
 
-// record appends a violation and latches fatality.
+// record appends a violation — stamped with the current sample's
+// traffic accounting — and latches fatality.
 func (w *Watchdog) record(v Violation) {
+	v.Enqueued, v.Consumed = w.sampEnq, w.sampCons
 	w.violations = append(w.violations, v)
 	if v.Kind.Fatal() {
 		w.fatal = true

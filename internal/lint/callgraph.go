@@ -24,6 +24,13 @@ import (
 //	    marks a function as an extra per-cycle hot-path root for
 //	    dettaint and hotalloc2 (Network.Step carries it; Controller
 //	    PreCycle/PostCycle implementations are discovered by type).
+//	//nocvet:cold <reason>
+//	    marks a function as a rare-event boundary: hotalloc2 does not
+//	    traverse into it or its callees (e.g. the FastPass healing
+//	    re-derivation, which runs once per permanent link failure, not
+//	    per cycle). Only the allocation rule is scoped this way — the
+//	    determinism analyzers still cover cold code, because rare code
+//	    still mutates simulated state.
 //	//nocvet:shared
 //	    marks a struct whose fields are shard-global state: phasesafe
 //	    applies its hazard checks to exactly these fields. Per-node
@@ -44,6 +51,7 @@ import (
 const (
 	phaseDirective    = "nocvet:phase"
 	hotDirective      = "nocvet:hot"
+	coldDirective     = "nocvet:cold"
 	sharedDirective   = "nocvet:shared"
 	bufferedDirective = "nocvet:buffered"
 )
@@ -66,6 +74,10 @@ type FuncNode struct {
 	Phase string
 	// Hot marks an explicit //nocvet:hot root.
 	Hot bool
+	// Cold marks a //nocvet:cold rare-event boundary: hotalloc2 stops
+	// its hot-path traversal here instead of flagging allocations in a
+	// subtree that provably runs on rare events, not per cycle.
+	Cold bool
 
 	// Callees are the statically resolvable outgoing edges, sorted by
 	// full name and deduplicated.
@@ -160,6 +172,7 @@ func BuildProgram(pkgs []*Package) *Program {
 					n := &FuncNode{Obj: obj, Decl: d, Pkg: p, calleeSet: map[*FuncNode]bool{}}
 					n.Phase = directiveArg(d.Doc, phaseDirective)
 					n.Hot = hasDirective(d.Doc, hotDirective)
+					n.Cold = hasDirective(d.Doc, coldDirective)
 					prog.byObj[obj] = n
 					prog.Funcs = append(prog.Funcs, n)
 				case *ast.GenDecl:

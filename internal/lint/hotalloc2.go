@@ -27,6 +27,12 @@ import (
 //
 // Arguments of panic calls are exempt: a panicking cycle is already
 // dead, and the invariant panics deliberately format rich messages.
+// A whole rare-event subtree (the FastPass healing re-derivation,
+// which runs once per permanent link failure) declares itself with a
+// //nocvet:cold directive on its entry function: the traversal stops
+// there instead of flagging every allocation below it. Cold scoping
+// applies to this analyzer only — dettaint and phasesafe still cover
+// cold code, because rare code still mutates simulated state.
 // Anything else that is provably cold (a drain epilogue, a gated debug
 // branch) states its case with a //nocvet:ignore hotalloc2 suppression
 // — backed, for the steady state, by the alloc-guard test.
@@ -45,7 +51,7 @@ func (HotAlloc2) RunProgram(prog *Program) []Finding {
 	if len(roots) == 0 {
 		return nil
 	}
-	hot := prog.Reachable(roots, nil)
+	hot := prog.Reachable(roots, func(n *FuncNode) bool { return n.Cold })
 	var findings []Finding
 	for _, n := range prog.Funcs {
 		if !hot[n] || n.Decl.Body == nil {

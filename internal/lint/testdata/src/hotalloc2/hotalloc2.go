@@ -1,6 +1,7 @@
 // Package hotalloc2 exercises the interprocedural hot-path allocation
 // analyzer: a //nocvet:hot root, every allocation idiom, the panic
-// exemption, cross-package reachability, and the suppression path.
+// exemption, cross-package reachability, the //nocvet:cold rare-event
+// boundary, and the suppression path.
 package hotalloc2
 
 import (
@@ -26,6 +27,7 @@ func (e *engine) step(n int) {
 	fmt.Println("cycle", n)
 	deep.Grow()
 	warm()
+	rederive(n)
 	if n < 0 {
 		// Exempt: a panicking cycle is not a hot cycle.
 		panic(fmt.Sprintf("hotalloc2: negative width %d", n))
@@ -41,4 +43,19 @@ func warm() {
 // cold is unreachable from any hot root: its allocations are fine.
 func cold() []int {
 	return make([]int, 64)
+}
+
+// rederive is reachable from the hot root but declares itself a
+// rare-event boundary: neither its own allocations nor its callees'
+// are flagged.
+//
+//nocvet:cold runs once per rare event, not per cycle
+func rederive(n int) []int {
+	out := make([]int, n)
+	return append(out, deepCold()...)
+}
+
+// deepCold is covered by its caller's cold boundary.
+func deepCold() []int {
+	return make([]int, 8)
 }

@@ -316,7 +316,10 @@ func (n *Network) EjectFlit(node int, f message.Flit) { n.NICs[node].EjectFlit(n
 // ClaimLink asserts bypass ownership of a directed link for the current
 // cycle. Double claims panic: non-overlap of FastPass-Lanes (and their
 // returning paths) is a correctness invariant of the paper, so a
-// violation is a simulator bug, not a runtime condition.
+// violation is a simulator bug, not a runtime condition. The invariant
+// also covers the healed circulating lanes a controller installs after
+// a permanent link failure — their fixed spacing on the re-derived walk
+// must keep claims disjoint exactly like the mesh lanes they replace.
 func (n *Network) ClaimLink(linkID int) {
 	if n.linkClaims[linkID] {
 		panic(fmt.Sprintf("network: link %d claimed twice in cycle %d — lanes overlap", linkID, n.cycle))

@@ -31,6 +31,7 @@ func encodeSynthConfig(w *snapshot.Writer, cfg SynthConfig) {
 	w.Int(cfg.FastPassK)
 	w.Bool(cfg.FPScanInjectionOnly)
 	w.Bool(cfg.FPDropOnReject)
+	w.Bool(cfg.FPHealing)
 	w.Int(cfg.TraceCapacity)
 	w.Str(cfg.Faults)
 	w.F64(cfg.FaultScale)
@@ -64,6 +65,7 @@ func decodeSynthConfig(r *snapshot.Reader) SynthConfig {
 	cfg.FastPassK = r.Int()
 	cfg.FPScanInjectionOnly = r.Bool()
 	cfg.FPDropOnReject = r.Bool()
+	cfg.FPHealing = r.Bool()
 	cfg.TraceCapacity = r.Int()
 	cfg.Faults = r.Str()
 	cfg.FaultScale = r.F64()
@@ -219,8 +221,8 @@ func init() {
 	snapshot.Register("sim.Options", Options{},
 		[]string{"Scheme", "W", "H", "VCs", "EjectCap", "Seed", "DrainPeriod",
 			"SwapDuty", "SpinThreshold", "FastPassK", "FPScanInjectionOnly",
-			"FPDropOnReject", "TraceCapacity", "Faults", "FaultScale",
-			"Watchdog", "Shards"},
+			"FPDropOnReject", "FPHealing", "TraceCapacity", "Faults",
+			"FaultScale", "Watchdog", "Shards"},
 		nil)
 	snapshot.Register("sim.synthRun", synthRun{},
 		// inst covers Net/Deflect (and through them the controller,

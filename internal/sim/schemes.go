@@ -129,6 +129,13 @@ type Options struct {
 	FPScanInjectionOnly bool
 	FPDropOnReject      bool
 
+	// FPHealing enables FastPass's online lane re-derivation: a
+	// permanent link failure drains the lanes, re-runs the §III-F
+	// derivation on the surviving graph and resumes (fastpass.Params.
+	// Healing). Campaigns compare FastPass-static against
+	// FastPass-healing by toggling this over the same fault plan.
+	FPHealing bool
+
 	// TraceCapacity, when positive, attaches an event recorder keeping
 	// that many recent events (Instance.Trace).
 	TraceCapacity int
@@ -223,6 +230,7 @@ func Build(o Options) *Instance {
 			K:                 o.FastPassK,
 			ScanInjectionOnly: o.FPScanInjectionOnly,
 			DropOnReject:      o.FPDropOnReject,
+			Healing:           o.FPHealing,
 		})
 		inst.FP.Trace = inst.Trace
 	case EscapeVC:

@@ -110,11 +110,22 @@ type SynthResult struct {
 
 	// Aborted is set when the invariant watchdog tripped fatally;
 	// AbortCycle/AbortReport carry the structured diagnostic.
-	Aborted          bool
-	AbortCycle       int64
-	AbortReport      string
-	DeadlockDetected bool
-	CreditLeaks      int
+	// TripCycle/TripDeliveredFrac come from the first fatal violation
+	// itself — the cycle of detection and the delivered fraction at
+	// trip time, the quantities reliability campaigns aggregate.
+	// TripCycle is -1 when no watchdog tripped.
+	Aborted           bool
+	AbortCycle        int64
+	AbortReport       string
+	TripCycle         int64
+	TripDeliveredFrac float64
+	DeadlockDetected  bool
+	CreditLeaks       int
+
+	// Heals/HealFails count FastPass lane-schedule re-derivations
+	// (FPHealing runs; zero otherwise).
+	Heals     int64
+	HealFails int64
 
 	// Faults snapshots the injector's counters (zero when no plan).
 	Faults faults.Counters
@@ -224,6 +235,8 @@ func (s *synthRun) result() SynthResult {
 	if inst.FP != nil {
 		res.Promoted = inst.FP.Counters.Promoted
 		res.Drops = inst.FP.Counters.Drops
+		res.Heals = inst.FP.Counters.Heals
+		res.HealFails = inst.FP.Counters.HealFails
 	}
 	res.Created = created
 	res.Delivered = delivered
@@ -232,6 +245,7 @@ func (s *synthRun) result() SynthResult {
 	if inst.Faults != nil {
 		res.Faults = inst.Faults.Counters
 	}
+	res.TripCycle = -1
 	if inst.Watch != nil {
 		res.CreditLeaks = inst.Watch.Leaks()
 		if inst.Watch.Tripped() {
@@ -239,6 +253,13 @@ func (s *synthRun) result() SynthResult {
 			res.AbortCycle = inst.Cycle()
 			res.AbortReport = inst.Watch.Report()
 			res.DeadlockDetected = inst.Watch.Deadlocked()
+			for _, v := range inst.Watch.Violations() {
+				if v.Kind.Fatal() {
+					res.TripCycle = v.Cycle
+					res.TripDeliveredFrac = v.DeliveredFrac()
+					break
+				}
+			}
 		}
 	}
 	// Saturation: runaway latency, or measured packets that never made
@@ -351,6 +372,7 @@ func paddedPoint(base SynthConfig, rate float64) SynthResult {
 		FastSplitRegular: nan,
 		FastSplitFast:    nan,
 		RegularLatency:   nan,
+		TripCycle:        -1,
 		Saturated:        true,
 	}
 }

@@ -1,9 +1,17 @@
 package topology
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 )
+
+// ErrDisconnected is returned (wrapped) by NewIrregular when the edge
+// set does not connect every node pair. Callers that degrade a healthy
+// graph — the self-healing lane re-derivation removing failed channels —
+// test for it with errors.Is to distinguish "cannot heal" from a
+// malformed edge list.
+var ErrDisconnected = errors.New("topology: graph is disconnected")
 
 // Irregular is an arbitrary graph of routers joined by bidirectional
 // channels (each channel is a pair of opposing directed links), as
@@ -77,7 +85,7 @@ func NewIrregular(n int, edges [][2]int) (*Irregular, error) {
 	for a := 0; a < n; a++ {
 		for b := 0; b < n; b++ {
 			if t.dist[a][b] < 0 {
-				return nil, fmt.Errorf("topology: graph is disconnected (no path %d->%d)", a, b)
+				return nil, fmt.Errorf("%w (no path %d->%d)", ErrDisconnected, a, b)
 			}
 		}
 	}

@@ -18,6 +18,9 @@
 package noc
 
 import (
+	"io"
+
+	"repro/internal/campaign"
 	"repro/internal/faults"
 	"repro/internal/invariant"
 	"repro/internal/powerarea"
@@ -174,6 +177,69 @@ type (
 // RunResilience executes a fault-intensity sweep. Deterministic: the
 // same config yields bit-identical points at any Jobs value.
 func RunResilience(cfg ResilienceConfig) []ResiliencePoint { return sim.RunResilience(cfg) }
+
+// CampaignConfig describes a Monte Carlo reliability campaign: one
+// fault plan swept over a (variant × fault-scale × seed) grid and
+// aggregated into per-variant degradation curves. CampaignVariant is
+// one grid column (a scheme plus the FastPass healing toggle),
+// CampaignPoint one cell, CampaignRecord one cell's measurement (the
+// JSONL journal line), and CampaignCurve one aggregated (variant,
+// scale) row of the output CSV. See the campaign package.
+type (
+	CampaignConfig  = campaign.Config
+	CampaignVariant = campaign.Variant
+	CampaignPoint   = campaign.Point
+	CampaignRecord  = campaign.Record
+	CampaignCurve   = campaign.Curve
+)
+
+// ParseCampaignVariants resolves a comma-separated variant list
+// ("FastPass-static,FastPass-healing,EscapeVC,...").
+func ParseCampaignVariants(spec string) ([]CampaignVariant, error) {
+	return campaign.ParseVariants(spec)
+}
+
+// CampaignGrid lays out a campaign's cells in output order
+// (variant-major, then scale, then seed).
+func CampaignGrid(c CampaignConfig) []CampaignPoint { return campaign.Grid(c) }
+
+// RunCampaign executes a campaign and returns one record per grid
+// cell, in grid order. Cells whose key appears in done are reused
+// verbatim (resume); onRecord, when non-nil, streams each freshly
+// measured record from worker goroutines. Deterministic: the record
+// slice is bit-identical at any Jobs value.
+func RunCampaign(c CampaignConfig, done map[string]CampaignRecord, onRecord func(CampaignRecord)) ([]CampaignRecord, error) {
+	return campaign.Run(c, done, onRecord)
+}
+
+// AggregateCampaign folds a full record population into degradation
+// curves, one per (variant, scale) in grid order. A missing cell is an
+// error, never a silently skewed curve.
+func AggregateCampaign(c CampaignConfig, recs []CampaignRecord) ([]CampaignCurve, error) {
+	return campaign.Aggregate(c, recs)
+}
+
+// EncodeCampaignRecord renders one journal line (no trailing newline).
+func EncodeCampaignRecord(r CampaignRecord) ([]byte, error) { return campaign.EncodeRecord(r) }
+
+// WriteCampaignJournal writes records as JSONL in the order given;
+// ReadCampaignJournal parses a journal into a resume map, tolerating a
+// torn final line; WriteCampaignCurvesCSV renders the degradation-curve
+// table.
+func WriteCampaignJournal(w io.Writer, recs []CampaignRecord) error {
+	return campaign.WriteJournal(w, recs)
+}
+
+// ReadCampaignJournal parses a JSONL journal into a resume map keyed by
+// cell identity (see ReadJournal in the campaign package).
+func ReadCampaignJournal(r io.Reader) (map[string]CampaignRecord, error) {
+	return campaign.ReadJournal(r)
+}
+
+// WriteCampaignCurvesCSV renders aggregated degradation curves as CSV.
+func WriteCampaignCurvesCSV(w io.Writer, curves []CampaignCurve) error {
+	return campaign.WriteCurvesCSV(w, curves)
+}
 
 // App is a named application workload profile.
 type App = workload.App
